@@ -1,0 +1,78 @@
+#include <cmath>
+/**
+ * @file
+ * Shared helpers for the reproduction benches: fixed-width table rows
+ * and normalization utilities. Every bench prints the rows/series of
+ * one table or figure of the paper (see DESIGN.md's experiment index).
+ */
+
+#ifndef TILEFLOW_BENCH_BENCH_UTIL_HPP
+#define TILEFLOW_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tileflow::bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n==================================================="
+                "=========================\n%s\n"
+                "==================================================="
+                "=========================\n",
+                title.c_str());
+}
+
+/** Print a row: label column then fixed-width numeric cells. */
+inline void
+row(const std::string& label, const std::vector<double>& values,
+    const char* fmt = "%12.3f")
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+/** Print a header row of column names. */
+inline void
+header(const std::string& label, const std::vector<std::string>& names)
+{
+    std::printf("%-14s", label.c_str());
+    for (const auto& name : names)
+        std::printf("%12s", name.c_str());
+    std::printf("\n");
+}
+
+/** Normalize a series so that `values[base]` becomes 1.0. */
+inline std::vector<double>
+normalizedTo(const std::vector<double>& values, size_t base)
+{
+    std::vector<double> out(values.size(), 0.0);
+    const double ref = values[base];
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = ref > 0.0 ? values[i] / ref : 0.0;
+    return out;
+}
+
+/** Geometric mean of positive values (zeros/negatives skipped). */
+inline double
+geomean(const std::vector<double>& values)
+{
+    double log_sum = 0.0;
+    int n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n > 0 ? std::exp(log_sum / n) : 0.0;
+}
+
+} // namespace tileflow::bench
+
+#endif // TILEFLOW_BENCH_BENCH_UTIL_HPP

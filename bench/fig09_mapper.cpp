@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 9 — TileFlow mapper exploration traces (Sec. 7.2).
+ *
+ *  (a) Tiling-factor tuning (MCTS) for self-attention shapes: the
+ *      normalized best-so-far performance per round.
+ *  (b) Full 3D-space tuning (GA over ordering/binding x MCTS over
+ *      tiling) for self-attention.
+ *  (c) Full 3D-space tuning for convolution chains CC1-CC5.
+ *
+ * The paper reports convergence within ~50 rounds; traces here print
+ * normalized performance (best cycles at round r / final best).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "ir/builders.hpp"
+#include "ir/shapes.hpp"
+#include "mapper/mapper.hpp"
+
+using namespace tileflow;
+
+namespace {
+
+void
+printTrace(const std::string& label, const std::vector<double>& trace)
+{
+    const double best = trace.empty() ? 1.0 : trace.back();
+    std::printf("%-10s", label.c_str());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const double norm =
+            trace[i] > 0.0 && trace[i] < 1e200 ? best / trace[i] : 0.0;
+        std::printf(" %.2f", norm);
+    }
+    std::printf("\n");
+}
+
+void
+partA()
+{
+    bench::banner("Figure 9a: self-attention tiling-factor tuning "
+                  "(normalized perf per round, 50 rounds)");
+    const ArchSpec edge = makeEdgeArch();
+    for (const char* name :
+         {"Bert-S", "Bert-B", "Bert-L", "ViT/14-B", "ViT/14-L",
+          "ViT/14-H"}) {
+        const Workload w = buildAttention(attentionShape(name), false);
+        const Evaluator model(w, edge);
+        const MappingSpace space = makeAttentionTilingSpace(w, edge);
+        // 50 rounds x 4 samples; the trace is downsampled per round.
+        const MapperResult r = exploreTiling(model, space, 200);
+        std::vector<double> per_round;
+        for (size_t i = 3; i < r.trace.size(); i += 4)
+            per_round.push_back(r.trace[i]);
+        printTrace(name, per_round);
+    }
+}
+
+void
+partB()
+{
+    bench::banner("Figure 9b: self-attention 3D-space tuning "
+                  "(ordering x binding x tiling)");
+    const ArchSpec edge = makeEdgeArch();
+    for (const char* name :
+         {"Bert-S", "Bert-B", "ViT/14-B", "ViT/16-B"}) {
+        const Workload w = buildAttention(attentionShape(name), false);
+        const Evaluator model(w, edge);
+        const MappingSpace space = makeAttentionSpace(w, edge);
+        std::printf("# %s: %lld orderings/bindings x %lld tilings\n",
+                    name, (long long)space.structuralSpaceSize(),
+                    (long long)space.factorSpaceSize());
+        MapperConfig cfg;
+        cfg.rounds = 12;
+        cfg.population = 8;
+        cfg.tilingSamples = 25;
+        const MapperResult r = exploreSpace(model, space, cfg);
+        printTrace(name, r.trace);
+    }
+}
+
+void
+partC()
+{
+    bench::banner("Figure 9c: conv-chain 3D-space tuning (CC1-CC5)");
+    const ArchSpec cloud = makeCloudArch();
+    for (const auto& shape : convChainShapes()) {
+        const Workload w = buildConvChain(shape);
+        const Evaluator model(w, cloud);
+        const MappingSpace space = makeConvChainSpace(w, cloud);
+        MapperConfig cfg;
+        cfg.rounds = 12;
+        cfg.population = 8;
+        cfg.tilingSamples = 25;
+        const MapperResult r = exploreSpace(model, space, cfg);
+        printTrace(shape.name, r.trace);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    partA();
+    partB();
+    partC();
+    return 0;
+}

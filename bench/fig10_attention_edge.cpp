@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 10 — fusion dataflow evaluation for self-attention on the
+ * Edge accelerator (Sec. 7.3).
+ *
+ *  (a) Normalized runtime cycle per dataflow and input shape
+ *      (paper averages: Uni-pipe 1.62x, FLAT-HGran 3.59x, FLAT-RGran
+ *      2.89x, Chimera 2.91x, TileFlow 6.65x over Layerwise).
+ *  (b) Normalized DRAM data movement (fusion removes 75-90%).
+ *  (c) Normalized on-chip (L1) data movement (fusion trades DRAM
+ *      traffic for 2-6.5x more on-chip movement).
+ *  (d) L1 data-movement breakdown (read / fill / update) for Bert-B
+ *      (paper: ~80.9% read, ~14.7% update).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/shapes.hpp"
+
+using namespace tileflow;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const ArchSpec edge = makeEdgeArch();
+    const auto& flows = mainAttentionDataflows();
+
+    std::vector<std::string> flow_names;
+    for (AttentionDataflow df : flows)
+        flow_names.push_back(attentionDataflowName(df));
+
+    std::vector<std::vector<double>> cycles(flows.size());
+    std::vector<std::vector<double>> dram(flows.size());
+    std::vector<std::vector<double>> onchip(flows.size());
+    std::vector<std::string> shape_names;
+    EvalResult bertb_tf; // kept for part d
+
+    for (const AttentionShape& shape : attentionShapes()) {
+        shape_names.push_back(shape.name);
+        const Workload w = buildAttention(shape, false);
+        const Evaluator model(w, edge);
+        for (size_t f = 0; f < flows.size(); ++f) {
+            const AnalysisTree tree =
+                buildAttentionDataflow(w, edge, flows[f]);
+            const EvalResult r = model.evaluate(tree);
+            cycles[f].push_back(r.valid ? r.cycles : 0.0);
+            dram[f].push_back(r.valid ? r.dm.levels.back().total() : 0.0);
+            onchip[f].push_back(r.valid ? r.dm.levels[1].total() : 0.0);
+        }
+    }
+
+    bench::banner("Figure 10a: normalized cycle (Layerwise = 1.0), "
+                  "self-attention on Edge");
+    bench::header("dataflow", shape_names);
+    std::vector<double> speedups;
+    for (size_t f = 0; f < flows.size(); ++f) {
+        std::vector<double> norm;
+        for (size_t s = 0; s < shape_names.size(); ++s)
+            norm.push_back(cycles[f][s] > 0.0
+                               ? cycles[f][s] / cycles[0][s]
+                               : 0.0);
+        bench::row(flow_names[f], norm);
+        if (f > 0) {
+            std::vector<double> sp;
+            for (size_t s = 0; s < shape_names.size(); ++s) {
+                if (cycles[f][s] > 0.0)
+                    sp.push_back(cycles[0][s] / cycles[f][s]);
+            }
+            speedups.push_back(bench::geomean(sp));
+        }
+    }
+    std::printf("\ngeomean speedup over Layerwise:");
+    for (size_t f = 1; f < flows.size(); ++f)
+        std::printf("  %s %.2fx", flow_names[f].c_str(),
+                    speedups[f - 1]);
+    std::printf("\n(paper: Uni-pipe 1.62x  HGran 3.59x  RGran 2.89x  "
+                "Chimera 2.91x  TileFlow 6.65x)\n");
+
+    bench::banner("Figure 10b: normalized DRAM data movement "
+                  "(Layerwise = 1.0)");
+    bench::header("dataflow", shape_names);
+    for (size_t f = 0; f < flows.size(); ++f) {
+        std::vector<double> norm;
+        for (size_t s = 0; s < shape_names.size(); ++s)
+            norm.push_back(dram[f][s] > 0.0 ? dram[f][s] / dram[0][s]
+                                            : 0.0);
+        bench::row(flow_names[f], norm);
+    }
+
+    bench::banner("Figure 10c: normalized on-chip (L1) data movement "
+                  "(Layerwise = 1.0)");
+    bench::header("dataflow", shape_names);
+    for (size_t f = 0; f < flows.size(); ++f) {
+        std::vector<double> norm;
+        for (size_t s = 0; s < shape_names.size(); ++s)
+            norm.push_back(onchip[f][s] > 0.0
+                               ? onchip[f][s] / onchip[0][s]
+                               : 0.0);
+        bench::row(flow_names[f], norm);
+    }
+
+    bench::banner("Figure 10d: L1 DM breakdown for Bert-B "
+                  "(read / fill / update shares)");
+    {
+        const Workload w = buildAttention(attentionShape("Bert-B"),
+                                          false);
+        const Evaluator model(w, edge);
+        bench::header("dataflow", {"read%", "fill%", "update%"});
+        for (size_t f = 0; f < flows.size(); ++f) {
+            const AnalysisTree tree =
+                buildAttentionDataflow(w, edge, flows[f]);
+            const EvalResult r = model.evaluate(tree);
+            if (!r.valid) {
+                std::printf("%-14s%12s\n", flow_names[f].c_str(), "OOM");
+                continue;
+            }
+            const LevelTraffic& l1 = r.dm.levels[1];
+            const double total = l1.total();
+            bench::row(flow_names[f],
+                       {100.0 * l1.readBytes / total,
+                        100.0 * l1.fillBytes / total,
+                        100.0 * l1.updateBytes / total},
+                       "%12.1f");
+        }
+        std::printf("(paper, averaged over dataflows: read 80.9%%, "
+                    "update 14.7%%)\n");
+    }
+    return 0;
+}

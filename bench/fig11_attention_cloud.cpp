@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 11 — fusion dataflow evaluation for self-attention on the
+ * Cloud accelerator (Sec. 7.3).
+ *
+ *  (a) Normalized cycle: the paper finds Uni-pipe at only 1.37x over
+ *      Layerwise (low spatial utilization) while every tiled fusion
+ *      dataflow reaches the same 12.63x — on Cloud the tiling
+ *      granularity stops mattering because compute and bandwidth are
+ *      abundant.
+ *  (b) Normalized L2 data movement.
+ *  (c) Normalized per-sub-core L1 data movement.
+ *  (d) Sub-core / PE utilization ratio.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/shapes.hpp"
+
+using namespace tileflow;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const ArchSpec cloud = makeCloudArch();
+    const auto& flows = mainAttentionDataflows();
+
+    std::vector<std::string> flow_names;
+    for (AttentionDataflow df : flows)
+        flow_names.push_back(attentionDataflowName(df));
+
+    // The paper's Fig. 11 uses the nine Bert/ViT shapes.
+    std::vector<AttentionShape> shapes(attentionShapes().begin(),
+                                       attentionShapes().begin() + 9);
+    std::vector<std::string> shape_names;
+    for (const auto& s : shapes)
+        shape_names.push_back(s.name);
+
+    std::vector<std::vector<double>> cycles(flows.size());
+    std::vector<std::vector<double>> l2dm(flows.size());
+    std::vector<std::vector<double>> l1dm(flows.size());
+    std::vector<std::vector<double>> util(flows.size());
+
+    const double sub_cores = double(cloud.totalSubCores());
+    for (const AttentionShape& shape : shapes) {
+        const Workload w = buildAttention(shape, false);
+        const Evaluator model(w, cloud);
+        for (size_t f = 0; f < flows.size(); ++f) {
+            const AnalysisTree tree =
+                buildAttentionDataflow(w, cloud, flows[f]);
+            const EvalResult r = model.evaluate(tree);
+            cycles[f].push_back(r.valid ? r.cycles : 0.0);
+            l2dm[f].push_back(r.valid ? r.dm.levels[2].total() : 0.0);
+            l1dm[f].push_back(
+                r.valid ? r.dm.levels[1].total() / sub_cores : 0.0);
+            util[f].push_back(r.valid ? r.utilization : 0.0);
+        }
+    }
+
+    auto print_normalized = [&](const char* what,
+                                std::vector<std::vector<double>>& data) {
+        bench::banner(what);
+        bench::header("dataflow", shape_names);
+        for (size_t f = 0; f < flows.size(); ++f) {
+            std::vector<double> norm;
+            for (size_t s = 0; s < shape_names.size(); ++s)
+                norm.push_back(data[f][s] > 0.0 && data[0][s] > 0.0
+                                   ? data[f][s] / data[0][s]
+                                   : 0.0);
+            bench::row(flow_names[f], norm);
+        }
+    };
+
+    print_normalized("Figure 11a: normalized cycle (Layerwise = 1.0), "
+                     "self-attention on Cloud",
+                     cycles);
+    std::vector<double> sp_uni, sp_tiled;
+    for (size_t s = 0; s < shape_names.size(); ++s) {
+        if (cycles[1][s] > 0.0)
+            sp_uni.push_back(cycles[0][s] / cycles[1][s]);
+        if (cycles[5][s] > 0.0)
+            sp_tiled.push_back(cycles[0][s] / cycles[5][s]);
+    }
+    std::printf("\ngeomean speedup: Uni-pipe %.2fx (paper 1.37x), "
+                "TileFlow %.2fx (paper 12.63x, shared by all tiled "
+                "fusion dataflows)\n",
+                bench::geomean(sp_uni), bench::geomean(sp_tiled));
+
+    print_normalized("Figure 11b: normalized L2 data movement", l2dm);
+    print_normalized("Figure 11c: normalized per-sub-core L1 data "
+                     "movement",
+                     l1dm);
+
+    bench::banner("Figure 11d: PE/sub-core utilization ratio (%)");
+    bench::header("dataflow", shape_names);
+    for (size_t f = 0; f < flows.size(); ++f) {
+        std::vector<double> pct;
+        for (double u : util[f])
+            pct.push_back(100.0 * u);
+        bench::row(flow_names[f], pct, "%12.1f");
+    }
+    return 0;
+}

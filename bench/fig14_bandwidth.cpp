@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 14 — L1-bandwidth sensitivity for convolution chains on the
+ * Edge accelerator (Sec. 7.5).
+ *
+ * Sweeps the L1 bandwidth and reports the slow-down metric
+ * slow-down = max(L1 access latency / compute latency, 1); the
+ * suitable bandwidth is the smallest making the slow-down 1. The
+ * paper finds Fused-Layer and ISOS satisfied around 96GB/s while the
+ * TileFlow dataflow, which keeps much more data moving on chip, needs
+ * roughly an order of magnitude more (1080GB/s for CC1, 720GB/s for
+ * CC2).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dataflows/convchain.hpp"
+#include "ir/shapes.hpp"
+
+using namespace tileflow;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const std::vector<double> bandwidths = {15,  30,  60,   120,  240,
+                                            360, 480, 600,  720,  840,
+                                            960, 1080, 1200};
+    const std::vector<ConvChainDataflow> flows = {
+        ConvChainDataflow::FusedLayer, ConvChainDataflow::ISOS,
+        ConvChainDataflow::TileFlowDF};
+
+    for (const char* cc : {"CC1", "CC2"}) {
+        bench::banner(std::string("Figure 14: L1 slow-down vs L1 "
+                                  "bandwidth (GB/s), layer ") +
+                      cc + " on Edge");
+        const Workload w = buildConvChain(convChainShape(cc));
+
+        std::printf("%-14s", "BW (GB/s)");
+        for (double bw : bandwidths)
+            std::printf("%8.0f", bw);
+        std::printf("\n");
+
+        for (ConvChainDataflow df : flows) {
+            std::printf("%-14s", convChainDataflowName(df).c_str());
+            double suitable = 0.0;
+            for (double bw : bandwidths) {
+                const ArchSpec spec =
+                    withL1Bandwidth(makeEdgeArch(), bw);
+                const Evaluator model(w, spec);
+                const AnalysisTree tree =
+                    buildConvChainDataflow(w, spec, df);
+                const EvalResult r = model.evaluate(tree);
+                const double slow =
+                    r.valid ? r.latency.slowdown(1) : 0.0;
+                std::printf("%8.2f", slow);
+                if (suitable == 0.0 && r.valid && slow <= 1.001)
+                    suitable = bw;
+            }
+            std::printf("   suitable: %.0f GB/s\n", suitable);
+        }
+    }
+    std::printf("\n(paper: Fused-Layer/ISOS suitable at ~96 GB/s; "
+                "TileFlow needs 1080 GB/s on CC1 and 720 GB/s on CC2)\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 6 — performance (10^6 cycles) across PE array sizes
+ * (Sec. 7.5, "PE Size").
+ *
+ * Workload: Bert-B self-attention. Baseline: FLAT-RGran; TileFlow: the
+ * mapper's all-pipelined dataflow. The paper's shape: TileFlow ~2x the
+ * baseline at small arrays, both converging to the same bandwidth-
+ * bound plateau once the PE array stops being the bottleneck
+ * (>= 16x16 for TileFlow, later for the baseline).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/shapes.hpp"
+
+using namespace tileflow;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Table 6: performance (10^6 cycles) vs total PE "
+                  "array size, Bert-B self-attention");
+
+    const std::vector<int> pe_dims = {8, 16, 32, 64, 128, 256};
+    const Workload w = buildAttention(attentionShape("Bert-B"), false);
+
+    std::printf("%-14s", "PE size");
+    for (int dim : pe_dims)
+        std::printf("%10d^2", dim);
+    std::printf("\n");
+
+    std::vector<double> base_cycles, tf_cycles;
+    for (int dim : pe_dims) {
+        const ArchSpec spec = makeEdgeArchWithPEs(dim);
+        const Evaluator model(w, spec);
+        const EvalResult rb = model.evaluate(buildAttentionDataflow(
+            w, spec, AttentionDataflow::FlatRGran));
+        const EvalResult rt = model.evaluate(buildAttentionDataflow(
+            w, spec, AttentionDataflow::TileFlowDF));
+        base_cycles.push_back(rb.valid ? rb.cycles / 1e6 : 0.0);
+        tf_cycles.push_back(rt.valid ? rt.cycles / 1e6 : 0.0);
+    }
+
+    bench::row("baseline", base_cycles, "%12.3f");
+    bench::row("TileFlow", tf_cycles, "%12.3f");
+    std::printf("\n(paper: baseline 12.58/3.15/2.36/1.73/1.57/1.57; "
+                "TileFlow 6.29/1.57/1.57/1.57/1.57/1.57)\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Table 8 — TileFlow's dataflow vs FLAT-RGran on a GPU-class
+ * architecture for long-sequence self-attention (Sec. 7.6).
+ *
+ * The paper runs TVM-generated CUDA kernels on an A100; here the same
+ * comparison runs on the GPU-like ArchSpec (108 SMs, 192KB shared
+ * memory, HBM bandwidth — see DESIGN.md substitutions). The shape to
+ * reproduce: TileFlow beats the FLAT-RGran baseline at every sequence
+ * length (roughly 5x at 1k-16k, narrowing at 64k), and the baseline
+ * goes OOM at 256k because FLAT must keep full softmax rows resident
+ * in shared memory while TileFlow tiles the column dimension.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/builders.hpp"
+
+using namespace tileflow;
+
+namespace {
+
+struct ModelCfg
+{
+    const char* name;
+    int64_t heads;
+    int64_t hidden;
+};
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Table 8: runtime (ms) on the GPU-like architecture "
+                  "for T5/XLM self-attention, seq_len 1k-256k");
+
+    const ArchSpec gpu = makeGpuLikeArch();
+    const std::vector<ModelCfg> models = {{"T5", 16, 1024},
+                                          {"XLM", 12, 768}};
+    const std::vector<int64_t> seq_lens = {1024, 4096, 16384, 65536,
+                                           262144};
+
+    std::printf("%-6s%-10s%12s%12s%12s%12s%12s\n", "model", "dataflow",
+                "1k", "4k", "16k", "64k", "256k");
+
+    for (const ModelCfg& cfg : models) {
+        std::vector<double> base_ms, tf_ms;
+        std::vector<bool> base_oom;
+        for (int64_t seq : seq_lens) {
+            AttentionShape shape;
+            shape.name = cfg.name;
+            shape.numHeads = cfg.heads;
+            shape.seqLen = seq;
+            shape.hidden = cfg.hidden;
+            const Workload w = buildAttention(shape, false);
+            const Evaluator model(w, gpu);
+
+            // Baseline: FLAT-RGran. FLAT requires at least one full
+            // softmax row (S and L) resident in shared memory per SM —
+            // the constraint that breaks it at 256k (Sec. 7.6).
+            const int64_t row_bytes = seq * gpu.wordBytes();
+            if (row_bytes > gpu.level(1).capacityBytes) {
+                base_oom.push_back(true);
+                base_ms.push_back(0.0);
+            } else {
+                // The row-residency requirement is the explicit gate
+                // above; build the tree without it so the interior
+                // blocking stays schedulable.
+                AttentionGrain base = attentionGrainFor(
+                    AttentionDataflow::FlatRGran, w, gpu);
+                base.rowResident = false;
+                const EvalResult rb =
+                    model.evaluate(buildAttentionTree(w, gpu, base));
+                base_oom.push_back(!rb.valid);
+                base_ms.push_back(rb.valid ? rb.runtimeMs(gpu) : 0.0);
+            }
+
+            // TileFlow: columns tiled, so any sequence length fits.
+            const AnalysisTree tf = buildAttentionDataflow(
+                w, gpu, AttentionDataflow::TileFlowDF);
+            const EvalResult rt = model.evaluate(tf);
+            tf_ms.push_back(rt.valid ? rt.runtimeMs(gpu) : 0.0);
+        }
+
+        std::printf("%-6s%-10s", cfg.name, "baseline");
+        for (size_t i = 0; i < seq_lens.size(); ++i) {
+            if (base_oom[i])
+                std::printf("%12s", "OOM");
+            else
+                std::printf("%12.2f", base_ms[i]);
+        }
+        std::printf("\n%-6s%-10s", "", "TileFlow");
+        for (double ms : tf_ms)
+            std::printf("%12.2f", ms);
+        std::printf("\n");
+    }
+
+    std::printf("\n(paper, A100 measurements: T5 baseline 1.13/16.58/"
+                "156.99/1064.63/OOM vs TileFlow 0.23/3.10/47.75/756.99/"
+                "12204.08; XLM similar — baseline OOM at 256k, TileFlow "
+                "~4-5x faster at short sequences)\n");
+    return 0;
+}

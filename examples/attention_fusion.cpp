@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Self-attention fusion: compare the Table 5 dataflows (Layerwise,
+ * Uni-pipe, FLAT granularities, Chimera, TileFlow) for one input
+ * shape on the Edge and Cloud accelerators — a compact version of
+ * the Fig. 10/11 studies.
+ *
+ * Usage: attention_fusion [shape-name]   (default Bert-S; see Table 2)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "common/strings.hpp"
+#include "core/notation.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/shapes.hpp"
+
+using namespace tileflow;
+
+namespace {
+
+void
+compare(const Workload& workload, const ArchSpec& spec)
+{
+    std::printf("--- %s ---\n", spec.name().c_str());
+    std::printf("%-12s %12s %12s %12s %10s\n", "dataflow", "cycles",
+                "DRAM bytes", "L1 bytes", "PE util");
+    const Evaluator model(workload, spec);
+    for (AttentionDataflow df : mainAttentionDataflows()) {
+        const AnalysisTree tree =
+            buildAttentionDataflow(workload, spec, df);
+        const EvalResult r = model.evaluate(tree);
+        if (!r.valid) {
+            std::printf("%-12s %12s  (%s)\n",
+                        attentionDataflowName(df).c_str(), "OOM",
+                        r.problems.empty() ? "?"
+                                           : r.problems[0].c_str());
+            continue;
+        }
+        std::printf("%-12s %12s %12s %12s %9.1f%%\n",
+                    attentionDataflowName(df).c_str(),
+                    humanCount(r.cycles).c_str(),
+                    humanCount(r.dm.levels.back().total()).c_str(),
+                    humanCount(r.dm.levels[1].total()).c_str(),
+                    100.0 * r.utilization);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "Bert-S";
+    const AttentionShape& shape = attentionShape(name);
+    std::printf("self-attention %s: heads=%lld seq=%lld hidden=%lld\n\n",
+                shape.name.c_str(), (long long)shape.numHeads,
+                (long long)shape.seqLen, (long long)shape.hidden);
+
+    const Workload workload = buildAttention(shape, false);
+    compare(workload, makeEdgeArch());
+    compare(workload, makeCloudArch());
+
+    // Show what the best dataflow's tree looks like.
+    const ArchSpec edge = makeEdgeArch();
+    const AnalysisTree best = buildAttentionDataflow(
+        workload, edge, AttentionDataflow::TileFlowDF);
+    std::printf("TileFlow dataflow on Edge (tile-centric notation):\n%s",
+                printNotation(best).c_str());
+    return 0;
+}

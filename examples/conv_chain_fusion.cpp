@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Convolution-chain fusion: evaluate Layerwise, Fused-Layer, ISOS and
+ * the pipelined TileFlow dataflow for the Table 3 chains, including a
+ * look at the staged intermediate (Act) footprint — the on-chip
+ * budget fusion trades for DRAM traffic.
+ *
+ * Usage: conv_chain_fusion [CC1..CC5]   (default: all)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "arch/presets.hpp"
+#include "common/strings.hpp"
+#include "dataflows/convchain.hpp"
+#include "ir/shapes.hpp"
+
+using namespace tileflow;
+
+namespace {
+
+void
+compare(const ConvChainShape& shape, const ArchSpec& spec)
+{
+    std::printf("--- %s: %lldx%lld, %lld -> %lld -> %lld channels ---\n",
+                shape.name.c_str(), (long long)shape.height,
+                (long long)shape.width, (long long)shape.inC,
+                (long long)shape.outC1, (long long)shape.outC2);
+    const Workload workload = buildConvChain(shape);
+    const Evaluator model(workload, spec);
+    std::printf("%-12s %12s %12s %14s %10s\n", "dataflow", "cycles",
+                "DRAM bytes", "L1 footprint", "PE util");
+    for (ConvChainDataflow df : mainConvChainDataflows()) {
+        const AnalysisTree tree =
+            buildConvChainDataflow(workload, spec, df);
+        const EvalResult r = model.evaluate(tree);
+        if (!r.valid) {
+            std::printf("%-12s %12s\n",
+                        convChainDataflowName(df).c_str(), "OOM");
+            continue;
+        }
+        std::printf("%-12s %12s %12s %13sB %9.1f%%\n",
+                    convChainDataflowName(df).c_str(),
+                    humanCount(r.cycles).c_str(),
+                    humanCount(r.dm.levels.back().total()).c_str(),
+                    humanCount(
+                        double(r.resources.footprintBytes[1]))
+                        .c_str(),
+                    100.0 * r.utilization);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ArchSpec cloud = makeCloudArch();
+    if (argc > 1) {
+        compare(convChainShape(argv[1]), cloud);
+        return 0;
+    }
+    for (const ConvChainShape& shape : convChainShapes())
+        compare(shape, cloud);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Design-space exploration with the TileFlow mapper (Sec. 6): the
+ * genetic algorithm evolves the ordering/binding encoding while MCTS
+ * tunes each individual's tiling table. Prints the convergence trace
+ * and the best mapping it found, in the tile-centric notation.
+ *
+ * Usage: mapper_search [attention-shape] [rounds]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arch/presets.hpp"
+#include "core/notation.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/shapes.hpp"
+#include "mapper/mapper.hpp"
+
+using namespace tileflow;
+
+int
+main(int argc, char** argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "Bert-S";
+    const int rounds = argc > 2 ? std::atoi(argv[2]) : 10;
+
+    const AttentionShape& shape = attentionShape(name);
+    const Workload workload = buildAttention(shape, false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(workload, edge);
+
+    const MappingSpace space = makeAttentionSpace(workload, edge);
+    std::printf("exploring %s on Edge: %lld structural configs x %lld "
+                "tilings\n",
+                name.c_str(), (long long)space.structuralSpaceSize(),
+                (long long)space.factorSpaceSize());
+
+    MapperConfig cfg;
+    cfg.rounds = rounds;
+    cfg.population = 8;
+    cfg.tilingSamples = 30;
+    const MapperResult result = exploreSpace(model, space, cfg);
+
+    std::printf("convergence (best cycles per round):");
+    for (double c : result.trace)
+        std::printf(" %.3g", c);
+    std::printf("\n");
+
+    if (!result.found) {
+        std::printf("no valid mapping found\n");
+        return 1;
+    }
+
+    std::printf("\nbest mapping: %.0f cycles after %d evaluations\n",
+                result.bestCycles, result.evaluations);
+    std::printf("%s", printNotation(result.bestTree).c_str());
+
+    // Compare against the canned reference dataflows.
+    for (AttentionDataflow df : {AttentionDataflow::Layerwise,
+                                 AttentionDataflow::FlatHGran,
+                                 AttentionDataflow::TileFlowDF}) {
+        const EvalResult r = model.evaluate(
+            buildAttentionDataflow(workload, edge, df));
+        if (r.valid) {
+            std::printf("reference %-12s: %.0f cycles (%.2fx of best)\n",
+                        attentionDataflowName(df).c_str(), r.cycles,
+                        r.cycles / result.bestCycles);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "analysis/energy.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace tileflow {
+
+double
+EnergyBreakdown::totalPJ() const
+{
+    double total = macPJ;
+    for (double pj : levelPJ)
+        total += pj;
+    return total;
+}
+
+double
+EnergyBreakdown::share(int level) const
+{
+    const double total = totalPJ();
+    return total > 0.0 ? levelPJ[size_t(level)] / total : 0.0;
+}
+
+double
+EnergyBreakdown::macShare() const
+{
+    const double total = totalPJ();
+    return total > 0.0 ? macPJ / total : 0.0;
+}
+
+std::string
+EnergyBreakdown::str(const ArchSpec& spec) const
+{
+    std::ostringstream os;
+    os << "MAC: " << humanCount(macPJ) << " pJ ("
+       << fmt(macShare() * 100.0, 1) << "%)\n";
+    for (int i = 0; i < int(levelPJ.size()); ++i) {
+        os << "L" << i << " (" << spec.level(i).name
+           << "): " << humanCount(levelPJ[size_t(i)]) << " pJ ("
+           << fmt(share(i) * 100.0, 1) << "%)\n";
+    }
+    os << "total: " << humanCount(totalPJ()) << " pJ\n";
+    return os.str();
+}
+
+EnergyBreakdown
+computeEnergy(const DataMovementResult& dm, const ArchSpec& spec)
+{
+    EnergyBreakdown out;
+    out.macPJ = dm.paddedOps * spec.macEnergyPJ();
+    out.levelPJ.assign(size_t(spec.numLevels()), 0.0);
+    for (int i = 0; i < spec.numLevels(); ++i) {
+        const MemLevel& level = spec.level(i);
+        const LevelTraffic& traffic = dm.levels[size_t(i)];
+        out.levelPJ[size_t(i)] =
+            traffic.readBytes * level.readEnergyPJ +
+            (traffic.fillBytes + traffic.updateBytes) *
+                level.writeEnergyPJ;
+    }
+    // Every arithmetic op reads two operands from and writes one
+    // result to the register file, regardless of inter-step reuse —
+    // the dominant register-energy term in Accelergy-style models.
+    out.levelPJ[0] += dm.paddedOps * 3.0 * double(spec.wordBytes()) *
+                      spec.level(0).readEnergyPJ;
+    return out;
+}
+
+} // namespace tileflow

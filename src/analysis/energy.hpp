@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Energy estimation from data-movement counts (Sec. 5.3 / Sec. 7.4).
+ *
+ * The paper passes its measured access counts to Accelergy-style
+ * estimators; here the per-level access energies live in the ArchSpec
+ * (filled by applyEnergyModel) and the breakdown mirrors Fig. 13:
+ * MAC, register, each SRAM level, and DRAM.
+ */
+
+#ifndef TILEFLOW_ANALYSIS_ENERGY_HPP
+#define TILEFLOW_ANALYSIS_ENERGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/datamovement.hpp"
+#include "arch/arch.hpp"
+
+namespace tileflow {
+
+/** Energy breakdown in picojoules. */
+struct EnergyBreakdown
+{
+    double macPJ = 0.0;
+
+    /** Per memory level (index 0 = registers, back() = DRAM). */
+    std::vector<double> levelPJ;
+
+    double totalPJ() const;
+
+    /** Fraction of total attributable to a level. */
+    double share(int level) const;
+
+    /** Fraction of total attributable to compute. */
+    double macShare() const;
+
+    std::string str(const ArchSpec& spec) const;
+};
+
+/** Convert data-movement volumes into the energy breakdown. */
+EnergyBreakdown computeEnergy(const DataMovementResult& dm,
+                              const ArchSpec& spec);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ANALYSIS_ENERGY_HPP

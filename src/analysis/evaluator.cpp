@@ -1,0 +1,71 @@
+#include "analysis/evaluator.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "core/validate.hpp"
+
+namespace tileflow {
+
+EvalResult
+Evaluator::evaluate(const AnalysisTree& tree) const
+{
+    EvalResult result;
+
+    if (options_.validate) {
+        for (const std::string& problem : validateTree(tree, spec_)) {
+            if (!startsWith(problem, "warn:")) {
+                result.problems.push_back(problem);
+            }
+        }
+        if (!result.problems.empty())
+            return result;
+    }
+
+    const DataMovementAnalyzer dm_analyzer(*workload_, *spec_);
+    result.dm = dm_analyzer.analyze(tree);
+
+    const ResourceAnalyzer resource_analyzer(*workload_, *spec_);
+    result.resources =
+        resource_analyzer.analyze(tree, options_.enforceMemory);
+
+    if (options_.enforceMemory && !result.resources.fitsMemory) {
+        result.problems = result.resources.violations;
+        return result;
+    }
+    if (options_.enforceCompute && !result.resources.fitsCompute) {
+        result.problems = result.resources.violations;
+        return result;
+    }
+
+    const LatencyModel latency_model(*workload_, *spec_);
+    result.latency = latency_model.analyze(tree, result.dm);
+    result.cycles = result.latency.cycles;
+    result.utilization = result.latency.utilization;
+
+    result.energy = computeEnergy(result.dm, *spec_);
+    result.energyPJ = result.energy.totalPJ();
+
+    result.valid = true;
+    return result;
+}
+
+std::string
+EvalResult::str(const ArchSpec& spec) const
+{
+    std::ostringstream os;
+    if (!valid) {
+        os << "INVALID mapping:\n";
+        for (const std::string& problem : problems)
+            os << "  " << problem << "\n";
+        return os.str();
+    }
+    os << "cycles: " << humanCount(cycles) << " (" << fmt(runtimeMs(spec), 3)
+       << " ms @ " << spec.frequencyGHz() << " GHz)\n";
+    os << "energy: " << humanCount(energyPJ / 1e6) << " uJ\n";
+    os << "utilization: " << fmt(utilization * 100.0, 1) << "%\n";
+    os << dm.str(spec);
+    return os.str();
+}
+
+} // namespace tileflow

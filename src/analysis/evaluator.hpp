@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Evaluator: the one-call facade tying together validation, data
+ * movement, resource usage, latency and energy (Fig. 3's "tree-based
+ * analysis" box). This is the main entry point of the public API.
+ */
+
+#ifndef TILEFLOW_ANALYSIS_EVALUATOR_HPP
+#define TILEFLOW_ANALYSIS_EVALUATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/datamovement.hpp"
+#include "analysis/energy.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/resource.hpp"
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** Evaluation knobs. */
+struct EvalOptions
+{
+    /** Reject mappings whose footprints exceed buffer capacities. */
+    bool enforceMemory = true;
+
+    /** Reject mappings whose PE / sub-core demand exceeds the spec. */
+    bool enforceCompute = true;
+
+    /** Run structural validation first (disable in hot search loops
+     *  that construct trees from trusted builders). */
+    bool validate = true;
+};
+
+/** Everything the model can say about one mapping. */
+struct EvalResult
+{
+    /** False if the tree is malformed or violates enforced limits. */
+    bool valid = false;
+
+    /** Validation / resource problems, if any. */
+    std::vector<std::string> problems;
+
+    double cycles = 0.0;
+    double energyPJ = 0.0;
+    double utilization = 0.0;
+
+    DataMovementResult dm;
+    ResourceResult resources;
+    LatencyResult latency;
+    EnergyBreakdown energy;
+
+    /** Runtime in milliseconds at the spec's frequency. */
+    double runtimeMs(const ArchSpec& spec) const
+    {
+        return cycles / (spec.frequencyGHz() * 1e6);
+    }
+
+    std::string str(const ArchSpec& spec) const;
+};
+
+/** The performance model of TileFlow. */
+class Evaluator
+{
+  public:
+    Evaluator(const Workload& workload, const ArchSpec& spec,
+              EvalOptions options = {})
+        : workload_(&workload), spec_(&spec), options_(options)
+    {
+    }
+
+    const Workload& workload() const { return *workload_; }
+    const ArchSpec& spec() const { return *spec_; }
+    const EvalOptions& options() const { return options_; }
+
+    /** Evaluate one mapping end to end. */
+    EvalResult evaluate(const AnalysisTree& tree) const;
+
+  private:
+    const Workload* workload_;
+    const ArchSpec* spec_;
+    EvalOptions options_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ANALYSIS_EVALUATOR_HPP

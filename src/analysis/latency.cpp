@@ -1,0 +1,167 @@
+#include "analysis/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+struct LatencyContext
+{
+    const Workload* workload;
+    const ArchSpec* spec;
+    const DataMovementResult* dm;
+    LatencyResult* result;
+    bool withMemory = true;
+};
+
+/** Cycles for one temporal step of a level-0 tile running `op`. */
+double
+leafStepCycles(const LatencyContext& ctx, const Node* l0_tile, OpId op_id)
+{
+    const Operator& op = ctx.workload->op(op_id);
+    const double points =
+        double(l0_tile->spatialExtent()) * op.opsPerPoint();
+    const double throughput = op.kind() == ComputeKind::Matrix
+                                  ? double(ctx.spec->pesPerSubCore())
+                                  : double(ctx.spec->vectorLanes());
+    return std::max(1.0, std::ceil(points / throughput));
+}
+
+/**
+ * Temporal steps of `tile` that a child subtree actually participates
+ * in: loops over dims none of the child's ops iterate don't re-execute
+ * the child (the data is simply reused across those steps).
+ */
+double
+relevantSteps(const LatencyContext& ctx, const Node* tile,
+              const Node* child)
+{
+    double steps = 1.0;
+    const std::vector<OpId> ops = child->isOp()
+                                      ? std::vector<OpId>{child->op()}
+                                      : child->opsBelow();
+    for (const Loop& loop : tile->loops()) {
+        if (!loop.isTemporal())
+            continue;
+        bool used = false;
+        for (OpId op : ops)
+            used = used || ctx.workload->op(op).usesDim(loop.dim);
+        if (used)
+            steps *= double(loop.extent);
+    }
+    return steps;
+}
+
+double latencyOf(const LatencyContext& ctx, const Node* node);
+double childTotalOfScope(const LatencyContext& ctx, const Node* tile,
+                         const Node* scope);
+
+/**
+ * Total compute-side cycles of one execution of tile `node`: each
+ * child contributes its per-execution latency times the steps it
+ * participates in; Seq/Shar serialize children (sum), Para/Pipe
+ * overlap them (max).
+ */
+double
+childTotal(const LatencyContext& ctx, const Node* tile, ScopeKind binding,
+           const std::vector<const Node*>& children)
+{
+    double sum = 0.0;
+    double peak = 0.0;
+    for (const Node* child : children) {
+        double lat = 0.0;
+        if (child->isScope()) {
+            // The nested scope's own children are already scaled by the
+            // tile's relevant steps.
+            lat = childTotalOfScope(ctx, tile, child);
+        } else {
+            lat = child->isOp() ? leafStepCycles(ctx, tile, child->op())
+                                : latencyOf(ctx, child);
+            lat *= relevantSteps(ctx, tile, child);
+        }
+        sum += lat;
+        peak = std::max(peak, lat);
+    }
+    return isConcurrent(binding) ? peak : sum;
+}
+
+double
+childTotalOfScope(const LatencyContext& ctx, const Node* tile,
+                  const Node* scope)
+{
+    std::vector<const Node*> children;
+    for (const auto& child : scope->children())
+        children.push_back(child.get());
+    return childTotal(ctx, tile, scope->scopeKind(), children);
+}
+
+double
+latencyOf(const LatencyContext& ctx, const Node* node)
+{
+    if (!node->isTile())
+        panic("latencyOf: expected a Tile node");
+
+    ScopeKind binding = ScopeKind::Seq;
+    std::vector<const Node*> children;
+    if (node->numChildren() == 1 && node->child(0)->isScope()) {
+        binding = node->child(0)->scopeKind();
+        for (const auto& child : node->child(0)->children())
+            children.push_back(child.get());
+    } else {
+        for (const auto& child : node->children())
+            children.push_back(child.get());
+    }
+
+    const double compute = childTotal(ctx, node, binding, children);
+
+    double load_cycles = 0.0;
+    double store_cycles = 0.0;
+    if (ctx.withMemory) {
+        const MemLevel& mem = ctx.spec->level(node->memLevel());
+        const double bw = mem.bytesPerCycle(ctx.spec->frequencyGHz());
+        auto it = ctx.dm->perNode.find(node);
+        if (it != ctx.dm->perNode.end() && bw > 0.0) {
+            load_cycles = it->second.loadBytes / bw;
+            store_cycles = it->second.storeBytes / bw;
+        }
+    }
+
+    // Loads, compute and stores overlap under double buffering, but
+    // loads and stores share the level's port/bus bandwidth.
+    const double lat = std::max(compute, load_cycles + store_cycles);
+    if (ctx.withMemory) {
+        ctx.result->nodeCycles[node] = lat;
+        ctx.result->levelAccessCycles[size_t(node->memLevel())] +=
+            double(executionCount(node)) * (load_cycles + store_cycles);
+    }
+    return lat;
+}
+
+} // namespace
+
+LatencyResult
+LatencyModel::analyze(const AnalysisTree& tree,
+                      const DataMovementResult& dm) const
+{
+    LatencyResult result;
+    result.levelAccessCycles.assign(size_t(spec_->numLevels()), 0.0);
+    if (!tree.hasRoot())
+        return result;
+
+    LatencyContext ctx{workload_, spec_, &dm, &result, true};
+    result.cycles = latencyOf(ctx, tree.root());
+
+    LatencyContext pure{workload_, spec_, &dm, &result, false};
+    result.computeCycles = latencyOf(pure, tree.root());
+
+    const double pe_cycles = result.cycles * double(spec_->totalPEs());
+    result.utilization =
+        pe_cycles > 0.0 ? dm.effectiveMatrixOps / pe_cycles : 0.0;
+    return result;
+}
+
+} // namespace tileflow

@@ -1,0 +1,292 @@
+#include "analysis/resource.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/slice.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** PE/sub-core usage of one subtree. */
+struct Usage
+{
+    int64_t matrixPEs = 0;
+    int64_t vectorLanes = 0;
+    int64_t subCores = 1;
+};
+
+Usage
+combine(ScopeKind binding, const std::vector<Usage>& children)
+{
+    Usage out;
+    out.subCores = 0;
+    for (const Usage& c : children) {
+        if (binding == ScopeKind::Seq || binding == ScopeKind::Shar) {
+            out.matrixPEs = std::max(out.matrixPEs, c.matrixPEs);
+            out.vectorLanes = std::max(out.vectorLanes, c.vectorLanes);
+            out.subCores = std::max(out.subCores, c.subCores);
+        } else if (binding == ScopeKind::Pipe) {
+            // Pipelined tiles run concurrently inside one sub-core,
+            // splitting its arrays: PE demands add up (and must fit one
+            // sub-core, which the caller checks), sub-cores do not.
+            out.matrixPEs += c.matrixPEs;
+            out.vectorLanes += c.vectorLanes;
+            out.subCores = std::max(out.subCores, c.subCores);
+        } else {
+            // Para partitions disjoint compute and memory units.
+            out.matrixPEs += c.matrixPEs;
+            out.vectorLanes += c.vectorLanes;
+            out.subCores += c.subCores;
+        }
+    }
+    out.subCores = std::max<int64_t>(out.subCores, 1);
+    return out;
+}
+
+Usage
+usageOf(const Workload& workload, const Node* node)
+{
+    if (node->isOp())
+        return Usage{};
+
+    if (node->isScope()) {
+        std::vector<Usage> children;
+        for (const auto& child : node->children())
+            children.push_back(usageOf(workload, child.get()));
+        return combine(node->scopeKind(), children);
+    }
+
+    // Tile node: Seq across its direct children unless the single child
+    // is a Scope carrying its own binding.
+    std::vector<Usage> children;
+    ScopeKind binding = ScopeKind::Seq;
+    if (node->numChildren() == 1 && node->child(0)->isScope()) {
+        binding = node->child(0)->scopeKind();
+        for (const auto& child : node->child(0)->children())
+            children.push_back(usageOf(workload, child.get()));
+    } else {
+        for (const auto& child : node->children())
+            children.push_back(usageOf(workload, child.get()));
+    }
+    Usage usage = combine(binding, children);
+
+    if (node->memLevel() == 0) {
+        // Register-level tile: spatial loops occupy the PE arrays of
+        // one sub-core. The array kind comes from the ops below.
+        const int64_t spatial = node->spatialExtent();
+        bool has_matrix = false;
+        bool has_vector = false;
+        for (OpId op : node->opsBelow()) {
+            if (workload.op(op).kind() == ComputeKind::Matrix)
+                has_matrix = true;
+            else
+                has_vector = true;
+        }
+        if (has_matrix)
+            usage.matrixPEs = std::max(usage.matrixPEs, spatial);
+        if (has_vector)
+            usage.vectorLanes = std::max(usage.vectorLanes, spatial);
+    } else {
+        // Spatial loops at higher tiles replicate across sub-cores /
+        // cores.
+        usage.subCores *= node->spatialExtent();
+    }
+    return usage;
+}
+
+int
+subtreeLevel(const Node* node)
+{
+    if (node->isTile())
+        return node->memLevel();
+    if (node->isOp())
+        return -1;
+    int level = -1;
+    for (const auto& child : node->children())
+        level = std::max(level, subtreeLevel(child.get()));
+    return level;
+}
+
+/**
+ * Footprint in bytes of one temporal step of `tile` — the data its
+ * children stage in the next-inner buffer level (Seq taking the max
+ * over children, other bindings the sum; Sec. 5.2). Computed per
+ * spatial instance (the tile's own spatial loops excluded) so it can
+ * be compared against one buffer's capacity. Children declared at the
+ * tile's own level manage their own staging and are skipped.
+ */
+int64_t
+stepFootprint(const Workload& workload, const Node* tile)
+{
+    // At level 0 the tile's spatial loops are the PE array itself and
+    // one register file serves all of it, so spatial spans count; at
+    // higher tiles spatial loops address separate buffer instances and
+    // the per-instance share is what must fit.
+    const StepGeometry geom(workload, tile,
+                            /*include_node_spatial=*/tile->memLevel() == 0);
+
+    ScopeKind binding = ScopeKind::Seq;
+    std::vector<const Node*> children;
+    if (tile->numChildren() == 1 && tile->child(0)->isScope()) {
+        binding = tile->child(0)->scopeKind();
+        for (const auto& child : tile->child(0)->children())
+            children.push_back(child.get());
+    } else {
+        for (const auto& child : tile->children())
+            children.push_back(child.get());
+    }
+
+    std::vector<int64_t> zero;
+    for (const Loop& loop : tile->loops()) {
+        if (loop.isTemporal())
+            zero.push_back(0);
+    }
+
+    int64_t total = 0;
+    for (const Node* child : children) {
+        if (subtreeLevel(child) >= tile->memLevel())
+            continue;
+        const std::vector<const Node*> leaves = child->opLeaves();
+
+        // A tensor only occupies this staging level if it crosses the
+        // child's boundary: produced elsewhere, or consumed/needed
+        // outside the child. Intermediates living entirely inside the
+        // child are staged in its own deeper buffers.
+        auto crosses_boundary = [&](TensorId tensor) {
+            const OpId producer = workload.producerOf(tensor);
+            bool produced_inside = false;
+            for (const Node* leaf : leaves)
+                produced_inside |= producer >= 0 && leaf->op() == producer;
+            if (!produced_inside)
+                return true; // loaded from above
+            const auto consumers = workload.consumersOf(tensor);
+            if (consumers.empty())
+                return true; // terminal output, written upward
+            for (OpId consumer : consumers) {
+                bool inside = false;
+                for (const Node* leaf : leaves)
+                    inside |= leaf->op() == consumer;
+                if (!inside)
+                    return true;
+            }
+            return false;
+        };
+
+        // Dedupe multiple accesses of one tensor inside the child by
+        // taking the bounding union of their slices.
+        std::map<TensorId, HyperRect> per_tensor;
+        for (const Node* leaf : leaves) {
+            const Operator& op = workload.op(leaf->op());
+            for (const auto& access : op.accesses()) {
+                if (!crosses_boundary(access.tensor))
+                    continue;
+                const HyperRect slice = geom.slice(leaf, access, zero);
+                auto it = per_tensor.find(access.tensor);
+                if (it == per_tensor.end())
+                    per_tensor[access.tensor] = slice;
+                else
+                    it->second = it->second.boundingUnion(slice);
+            }
+        }
+        int64_t child_bytes = 0;
+        for (const auto& [tensor, rect] : per_tensor) {
+            child_bytes += rect.volume() *
+                           dataTypeBytes(workload.tensor(tensor).dtype);
+        }
+        if (binding == ScopeKind::Seq && children.size() > 1)
+            total = std::max(total, child_bytes);
+        else
+            total += child_bytes;
+    }
+    return total;
+}
+
+} // namespace
+
+ResourceResult
+ResourceAnalyzer::analyze(const AnalysisTree& tree,
+                          bool enforce_memory) const
+{
+    ResourceResult result;
+    result.footprintBytes.assign(size_t(spec_->numLevels()), 0);
+    if (!tree.hasRoot())
+        return result;
+
+    const Usage usage = usageOf(*workload_, tree.root());
+    result.matrixPEs = usage.matrixPEs;
+    result.vectorLanes = usage.vectorLanes;
+    result.subCoresUsed = usage.subCores;
+
+    if (result.matrixPEs > spec_->pesPerSubCore()) {
+        result.fitsCompute = false;
+        result.violations.push_back(concat(
+            "matrix PE demand ", result.matrixPEs, " exceeds array size ",
+            spec_->pesPerSubCore()));
+    }
+    if (result.vectorLanes > spec_->vectorLanes()) {
+        result.fitsCompute = false;
+        result.violations.push_back(concat(
+            "vector lane demand ", result.vectorLanes,
+            " exceeds lane count ", spec_->vectorLanes()));
+    }
+    if (result.subCoresUsed > spec_->totalSubCores()) {
+        result.fitsCompute = false;
+        result.violations.push_back(concat(
+            "sub-core demand ", result.subCoresUsed, " exceeds ",
+            spec_->totalSubCores()));
+    }
+
+    // Footprints + per-node spatial fanout checks.
+    std::vector<const Node*> stack{tree.root()};
+    while (!stack.empty()) {
+        const Node* node = stack.back();
+        stack.pop_back();
+        for (const auto& child : node->children())
+            stack.push_back(child.get());
+        if (!node->isTile())
+            continue;
+
+        const int level = node->memLevel();
+        // One step of this node stages data in the next-inner level's
+        // buffers (registers for L0 tiles).
+        int child_level = -1;
+        for (const auto& child : node->children()) {
+            const int cl = subtreeLevel(child.get());
+            if (cl < level)
+                child_level = std::max(child_level, cl);
+        }
+        child_level = std::max(child_level, 0);
+
+        const int64_t fp = stepFootprint(*workload_, node);
+        auto& peak = result.footprintBytes[size_t(child_level)];
+        peak = std::max(peak, fp);
+
+        const MemLevel& mem = spec_->level(child_level);
+        if (enforce_memory && mem.capacityBytes > 0 &&
+            fp > mem.capacityBytes) {
+            result.fitsMemory = false;
+            result.violations.push_back(concat(
+                "step footprint ", humanCount(double(fp)), "B at L",
+                child_level, " exceeds capacity ",
+                humanCount(double(mem.capacityBytes)), "B"));
+        }
+
+        if (level >= 1 && level < spec_->numLevels()) {
+            const int64_t spatial = node->spatialExtent();
+            const int64_t fanout = spec_->level(level).fanout;
+            if (spatial > fanout) {
+                result.fitsCompute = false;
+                result.violations.push_back(concat(
+                    "spatial extent ", spatial, " at L", level,
+                    " exceeds fanout ", fanout));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace tileflow

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Resource-usage analysis (Sec. 5.2).
+ *
+ * NumPE and Footprint are computed bottom-up over the analysis tree
+ * with the paper's combination rules:
+ *
+ *   NumPE:     Seq/Shar -> max(children), Para/Pipe -> sum(children)
+ *   Footprint: Seq      -> max(children), otherwise  -> sum(children)
+ *
+ * Matrix-array MACs and vector lanes are tracked separately (the
+ * Sec. 7.1 accelerator has distinct arrays), and spatial loops at
+ * levels >= 1 consume sub-core instances.
+ */
+
+#ifndef TILEFLOW_ANALYSIS_RESOURCE_HPP
+#define TILEFLOW_ANALYSIS_RESOURCE_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** Resource usage of one mapping. */
+struct ResourceResult
+{
+    /** Matrix MACs used inside one sub-core (peak over tree). */
+    int64_t matrixPEs = 0;
+
+    /** Vector lanes used inside one sub-core (peak over tree). */
+    int64_t vectorLanes = 0;
+
+    /** Sub-core instances occupied simultaneously. */
+    int64_t subCoresUsed = 1;
+
+    /** Peak bytes resident per instance of each memory level. */
+    std::vector<int64_t> footprintBytes;
+
+    bool fitsMemory = true;
+    bool fitsCompute = true;
+    std::vector<std::string> violations;
+
+    bool ok() const { return fitsMemory && fitsCompute; }
+};
+
+class ResourceAnalyzer
+{
+  public:
+    ResourceAnalyzer(const Workload& workload, const ArchSpec& spec)
+        : workload_(&workload), spec_(&spec)
+    {
+    }
+
+    /**
+     * Analyze resource usage.
+     * @param enforce_memory  record capacity violations (Table 7's
+     *        "No Memory Limit" scenario passes false)
+     */
+    ResourceResult analyze(const AnalysisTree& tree,
+                           bool enforce_memory = true) const;
+
+  private:
+    const Workload* workload_;
+    const ArchSpec* spec_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ANALYSIS_RESOURCE_HPP

@@ -1,0 +1,140 @@
+#include "analysis/slice.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+StepGeometry::StepGeometry(const Workload& workload, const Node* node,
+                           bool include_node_spatial)
+    : workload_(&workload), node_(node)
+{
+    if (!node->isTile())
+        panic("StepGeometry: node must be a Tile");
+
+    const size_t num_dims = workload.dims().size();
+    units_.assign(num_dims, 1);
+    spatialSpan_.assign(num_dims, 1);
+
+    std::vector<int64_t> full_spatial(num_dims, 1);
+    for (const Loop& loop : node->loops()) {
+        if (loop.isTemporal()) {
+            temporal_.push_back(loop);
+        } else {
+            full_spatial[size_t(loop.dim)] *= loop.extent;
+            if (include_node_spatial)
+                spatialSpan_[size_t(loop.dim)] *= loop.extent;
+        }
+    }
+
+    // unit(d) = spatial extent at this node times the largest d-span of
+    // any child subtree (always including spatial: temporal steps
+    // advance past all spatial instances).
+    for (size_t d = 0; d < num_dims; ++d) {
+        int64_t child_span = 1;
+        for (const auto& child : node->children())
+            child_span = std::max(child_span,
+                                  subtreeSpan(child.get(), DimId(d)));
+        units_[d] = full_spatial[d] * child_span;
+    }
+}
+
+HyperRect
+StepGeometry::slice(const Node* leaf, const TensorAccess& access,
+                    const std::vector<int64_t>& temporal_idx) const
+{
+    const size_t num_dims = workload_->dims().size();
+    std::vector<int64_t> base(num_dims, 0);
+    std::vector<int64_t> span(num_dims, 1);
+
+    // Span below the node: loops on the path from the node's child down
+    // to the leaf (pathSpan from the node includes the node's own loops,
+    // so divide those back out), times the node's spatial extent.
+    for (size_t d = 0; d < num_dims; ++d) {
+        int64_t below = pathSpan(node_, leaf, DimId(d));
+        for (const Loop& loop : node_->loops()) {
+            if (loop.dim == DimId(d))
+                below /= loop.extent;
+        }
+        span[d] = below * spatialSpan_[d];
+    }
+
+    for (size_t k = 0; k < temporal_.size(); ++k) {
+        const Loop& loop = temporal_[k];
+        base[size_t(loop.dim)] +=
+            temporal_idx[k] * units_[size_t(loop.dim)];
+    }
+
+    const Operator& op = workload_->op(leaf->op());
+    return op.sliceOf(access, base, span);
+}
+
+std::vector<int64_t>
+StepGeometry::beforeAdvance(size_t k, bool conservative) const
+{
+    std::vector<int64_t> idx(temporal_.size(), 0);
+    if (conservative) {
+        for (size_t j = k + 1; j < temporal_.size(); ++j)
+            idx[j] = temporal_[j].extent - 1;
+    }
+    return idx;
+}
+
+std::vector<int64_t>
+StepGeometry::afterAdvance(size_t k) const
+{
+    std::vector<int64_t> idx(temporal_.size(), 0);
+    idx[k] = 1;
+    return idx;
+}
+
+std::vector<int64_t>
+StepGeometry::lastStep() const
+{
+    std::vector<int64_t> idx(temporal_.size(), 0);
+    for (size_t j = 0; j < temporal_.size(); ++j)
+        idx[j] = temporal_[j].extent - 1;
+    return idx;
+}
+
+int64_t
+StepGeometry::advances(size_t k) const
+{
+    if (temporal_[k].extent <= 1)
+        return 0;
+    int64_t outer = 1;
+    for (size_t j = 0; j < k; ++j)
+        outer *= temporal_[j].extent;
+    return (temporal_[k].extent - 1) * outer;
+}
+
+int64_t
+StepGeometry::advancesFor(size_t k, const Operator& op,
+                          const TensorAccess& access) const
+{
+    if (temporal_[k].extent <= 1)
+        return 0;
+
+    auto relevant = [&](DimId dim) {
+        for (const auto& dim_expr : access.projection) {
+            for (const auto& term : dim_expr) {
+                if (term.dim == dim)
+                    return true;
+            }
+        }
+        // Outer reduction loops revisit a written tensor's tile.
+        return access.isWrite && op.isReduction(dim);
+    };
+
+    if (!relevant(temporal_[k].dim))
+        return 0;
+    int64_t outer = 1;
+    for (size_t j = 0; j < k; ++j) {
+        if (relevant(temporal_[j].dim))
+            outer *= temporal_[j].extent;
+    }
+    return (temporal_[k].extent - 1) * outer;
+}
+
+} // namespace tileflow

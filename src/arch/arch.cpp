@@ -1,0 +1,78 @@
+#include "arch/arch.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace tileflow {
+
+ArchSpec::ArchSpec(std::string name, double frequency_ghz,
+                   std::vector<MemLevel> levels, int pe_rows, int pe_cols,
+                   int vector_lanes, int word_bytes)
+    : name_(std::move(name)),
+      frequencyGHz_(frequency_ghz),
+      levels_(std::move(levels)),
+      peRows_(pe_rows),
+      peCols_(pe_cols),
+      vectorLanes_(vector_lanes),
+      wordBytes_(word_bytes)
+{
+    if (levels_.size() < 2)
+        fatal("ArchSpec ", name_,
+              ": need at least a register level and DRAM");
+    // Derive per-level instance counts from fanouts (outermost has 1).
+    int64_t instances = 1;
+    for (int i = numLevels() - 1; i >= 0; --i) {
+        levels_[size_t(i)].instances = int(instances);
+        instances *= levels_[size_t(i)].fanout;
+    }
+}
+
+const MemLevel&
+ArchSpec::level(int idx) const
+{
+    if (idx < 0 || idx >= numLevels())
+        fatal("ArchSpec ", name_, ": level index ", idx, " out of range");
+    return levels_[size_t(idx)];
+}
+
+int64_t
+ArchSpec::totalSubCores() const
+{
+    // Sub-cores sit directly above the register level: the number of
+    // register-level instances equals the number of sub-cores.
+    return levels_.front().instances;
+}
+
+int64_t
+ArchSpec::fanoutAt(int level) const
+{
+    if (level <= 0)
+        return 1;
+    int64_t fanout = 1;
+    for (int i = 1; i <= level && i < numLevels(); ++i)
+        fanout *= levels_[size_t(i)].fanout;
+    return fanout;
+}
+
+std::string
+ArchSpec::str() const
+{
+    std::ostringstream os;
+    os << "ArchSpec(" << name_ << ", " << frequencyGHz_ << " GHz, PE "
+       << peRows_ << "x" << peCols_ << " per sub-core, "
+       << totalSubCores() << " sub-cores)\n";
+    for (int i = numLevels() - 1; i >= 0; --i) {
+        const auto& lvl = levels_[size_t(i)];
+        os << "  L" << i << " " << lvl.name << ": "
+           << (lvl.capacityBytes == 0
+                   ? std::string("unbounded")
+                   : humanCount(double(lvl.capacityBytes)) + "B")
+           << " x" << lvl.instances << ", " << lvl.bandwidthGBps
+           << " GB/s, fanout " << lvl.fanout << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tileflow

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Spatial-accelerator architecture specifications (paper Sec. 2.1).
+ *
+ * An ArchSpec is a linear memory hierarchy from the innermost register
+ * level (L0) out to DRAM, plus the spatial compute organization (cores,
+ * sub-cores, and per-sub-core PE arrays). Analysis-tree tile nodes are
+ * annotated with memory-level indices into ArchSpec::levels().
+ */
+
+#ifndef TILEFLOW_ARCH_ARCH_HPP
+#define TILEFLOW_ARCH_ARCH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tileflow {
+
+/** One level of on-chip (or off-chip) memory. */
+struct MemLevel
+{
+    std::string name;
+
+    /** Capacity in bytes of ONE instance of this level. 0 = unbounded
+     *  (used for DRAM). */
+    int64_t capacityBytes = 0;
+
+    /** Number of instances of this level in the whole accelerator
+     *  (e.g., 4 cores -> 4 L1 buffers). */
+    int instances = 1;
+
+    /** Aggregate bandwidth of one instance, GB/s. */
+    double bandwidthGBps = 0.0;
+
+    /** Read/write energy per byte, pJ (filled by applyEnergyModel). */
+    double readEnergyPJ = 0.0;
+    double writeEnergyPJ = 0.0;
+
+    /** Spatial fanout: how many next-inner-level instances one instance
+     *  of this level feeds (DRAM -> cores, L2 -> sub-cores, ...). */
+    int fanout = 1;
+
+    int64_t totalCapacityBytes() const { return capacityBytes * instances; }
+
+    /** Bytes this instance can move per cycle at the given frequency. */
+    double bytesPerCycle(double frequency_ghz) const
+    {
+        return bandwidthGBps / frequency_ghz;
+    }
+};
+
+/**
+ * Complete accelerator specification.
+ *
+ * levels()[0] is the innermost (register/L0) level, levels().back() is
+ * DRAM. The Table 4 presets are in arch/presets.hpp.
+ */
+class ArchSpec
+{
+  public:
+    ArchSpec() = default;
+    ArchSpec(std::string name, double frequency_ghz,
+             std::vector<MemLevel> levels, int pe_rows, int pe_cols,
+             int vector_lanes, int word_bytes = 2);
+
+    const std::string& name() const { return name_; }
+    double frequencyGHz() const { return frequencyGHz_; }
+
+    const std::vector<MemLevel>& levels() const { return levels_; }
+    std::vector<MemLevel>& levels() { return levels_; }
+    const MemLevel& level(int idx) const;
+    int numLevels() const { return int(levels_.size()); }
+
+    /** Index of the DRAM (outermost) level. */
+    int dramLevel() const { return numLevels() - 1; }
+
+    /** Matrix PE array of ONE sub-core (rows x cols MACs). */
+    int peRows() const { return peRows_; }
+    int peCols() const { return peCols_; }
+    int64_t pesPerSubCore() const { return int64_t(peRows_) * peCols_; }
+
+    /** Vector lanes of ONE sub-core. */
+    int vectorLanes() const { return vectorLanes_; }
+
+    /** Total sub-cores = product of fanouts above the register level. */
+    int64_t totalSubCores() const;
+
+    /** Total matrix MAC units in the accelerator. */
+    int64_t totalPEs() const { return totalSubCores() * pesPerSubCore(); }
+
+    /** Element width in bytes (paper uses 16-bit words). */
+    int wordBytes() const { return wordBytes_; }
+
+    /** MAC energy, pJ per operation. */
+    double macEnergyPJ() const { return macEnergyPJ_; }
+    void setMacEnergyPJ(double pj) { macEnergyPJ_ = pj; }
+
+    /**
+     * Whether two on-chip levels can exchange data directly without
+     * routing through their common ancestor (paper Fig. 6 bottom).
+     * Default false, as is common in DNN accelerators.
+     */
+    bool directInterLevelTransfer() const { return directTransfer_; }
+    void setDirectInterLevelTransfer(bool v) { directTransfer_ = v; }
+
+    /** Spatial instances available below level `level` under ONE
+     *  instance of that level (the Sp() capacity at that node). */
+    int64_t fanoutAt(int level) const;
+
+    std::string str() const;
+
+  private:
+    std::string name_;
+    double frequencyGHz_ = 1.0;
+    std::vector<MemLevel> levels_;
+    int peRows_ = 16;
+    int peCols_ = 16;
+    int vectorLanes_ = 16;
+    int wordBytes_ = 2;
+    double macEnergyPJ_ = 0.56;
+    bool directTransfer_ = false;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ARCH_ARCH_HPP

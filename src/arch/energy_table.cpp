@@ -1,0 +1,37 @@
+#include "arch/energy_table.hpp"
+
+#include <cmath>
+
+namespace tileflow {
+
+double
+EnergyTable::sramPJPerByte(int64_t capacity_bytes) const
+{
+    if (capacity_bytes <= 0)
+        return sramBasePJPerByte;
+    const double ratio = double(capacity_bytes) / sramRefBytes;
+    return sramBasePJPerByte * std::sqrt(ratio);
+}
+
+void
+applyEnergyModel(ArchSpec& spec, const EnergyTable& table)
+{
+    const int last = spec.numLevels() - 1;
+    for (int i = 0; i <= last; ++i) {
+        auto& level = spec.levels()[size_t(i)];
+        double pj = 0.0;
+        if (i == 0) {
+            pj = table.registerPJPerByte;
+        } else if (i == last) {
+            pj = table.dramPJPerByte;
+        } else {
+            pj = table.sramPJPerByte(level.capacityBytes);
+        }
+        level.readEnergyPJ = pj;
+        // SRAM/DRAM writes cost slightly more than reads.
+        level.writeEnergyPJ = (i == 0) ? pj : pj * 1.1;
+    }
+    spec.setMacEnergyPJ(table.macPJ);
+}
+
+} // namespace tileflow

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Accelergy-style per-access energy estimation.
+ *
+ * The paper delegates energy to Accelergy/CACTI-class estimators [45,64];
+ * we reproduce the behaviour that matters for Fig. 13: SRAM access
+ * energy grows with buffer capacity (roughly sqrt for word-line/bit-line
+ * scaling), DRAM is an order of magnitude above any SRAM, and registers
+ * are an order below. Constants are 16-bit-access energies in pJ,
+ * anchored to the widely used Eyeriss/Accelergy 45nm table and divided
+ * by the word size to obtain per-byte numbers.
+ */
+
+#ifndef TILEFLOW_ARCH_ENERGY_TABLE_HPP
+#define TILEFLOW_ARCH_ENERGY_TABLE_HPP
+
+#include "arch/arch.hpp"
+
+namespace tileflow {
+
+/** Energy model parameters; defaults follow the Accelergy 45nm table. */
+struct EnergyTable
+{
+    /** pJ per byte for a register-file access (0.6 pJ per 16-bit). */
+    double registerPJPerByte = 0.30;
+
+    /** pJ per byte for a reference 64KB SRAM access. */
+    double sramBasePJPerByte = 1.25;
+
+    /** Reference SRAM capacity for the base energy (bytes). */
+    double sramRefBytes = 64.0 * 1024.0;
+
+    /** pJ per byte for DRAM access. */
+    double dramPJPerByte = 100.0;
+
+    /** pJ per 16-bit MAC. */
+    double macPJ = 0.56;
+
+    /** Per-access energy in pJ/byte for an SRAM of the given size. */
+    double sramPJPerByte(int64_t capacity_bytes) const;
+};
+
+/**
+ * Fill in readEnergyPJ/writeEnergyPJ for every level of `spec` (and the
+ * MAC energy) from the table. Level 0 is treated as a register file,
+ * the outermost level as DRAM, everything in between as SRAM whose
+ * energy scales with its per-instance capacity.
+ */
+void applyEnergyModel(ArchSpec& spec, const EnergyTable& table = {});
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ARCH_ENERGY_TABLE_HPP

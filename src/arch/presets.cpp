@@ -1,0 +1,151 @@
+#include "arch/presets.hpp"
+
+#include <cmath>
+
+#include "arch/energy_table.hpp"
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * 1024;
+
+MemLevel
+regLevel(int64_t bytes, double gbps)
+{
+    MemLevel lvl;
+    lvl.name = "Reg";
+    lvl.capacityBytes = bytes;
+    lvl.bandwidthGBps = gbps;
+    lvl.fanout = 1;
+    return lvl;
+}
+
+MemLevel
+sramLevel(std::string name, int64_t bytes, double gbps, int fanout)
+{
+    MemLevel lvl;
+    lvl.name = std::move(name);
+    lvl.capacityBytes = bytes;
+    lvl.bandwidthGBps = gbps;
+    lvl.fanout = fanout;
+    return lvl;
+}
+
+MemLevel
+dramLevel(double gbps, int fanout)
+{
+    MemLevel lvl;
+    lvl.name = "DRAM";
+    lvl.capacityBytes = 0; // unbounded
+    lvl.bandwidthGBps = gbps;
+    lvl.fanout = fanout;
+    return lvl;
+}
+
+} // namespace
+
+ArchSpec
+makeEdgeArch()
+{
+    return makeEdgeArch(4 * kMiB);
+}
+
+ArchSpec
+makeEdgeArch(int64_t l1_bytes)
+{
+    // 4 cores x 1 sub-core, 32x32 MACs per core. With this reading of
+    // Table 4 the Edge Layerwise dataflow is DRAM-bound, which is what
+    // produces the paper's 6.65x fusion headroom (Sec. 7.2).
+    std::vector<MemLevel> levels;
+    levels.push_back(regLevel(128 * kKiB, 4800.0));
+    levels.push_back(sramLevel("L1", l1_bytes, 1200.0, /*fanout=*/1));
+    levels.push_back(dramLevel(60.0, /*fanout=*/4));
+    ArchSpec spec("Edge", 1.0, std::move(levels), 32, 32, 32);
+    applyEnergyModel(spec);
+    return spec;
+}
+
+ArchSpec
+makeCloudArch()
+{
+    // 4 cores x 16 sub-cores, 32x32 MACs per sub-core (256x256 total).
+    // Per-core 20MB L1 is distributed over the 16 sub-cores; per-core
+    // L1 bandwidth 9.6TB/s likewise.
+    std::vector<MemLevel> levels;
+    levels.push_back(regLevel(128 * kKiB, 9600.0));
+    levels.push_back(
+        sramLevel("L1", 20 * kMiB / 16, 9600.0 / 16, /*fanout=*/1));
+    levels.push_back(sramLevel("L2", 40 * kMiB, 1900.0, /*fanout=*/16));
+    levels.push_back(dramLevel(384.0, /*fanout=*/4));
+    ArchSpec spec("Cloud", 1.0, std::move(levels), 32, 32, 32);
+    applyEnergyModel(spec);
+    return spec;
+}
+
+ArchSpec
+makeValidationArch()
+{
+    // Sec. 7.1: 4 cores, 16x16 matmul + 16x3 vector per core, 384KB
+    // buffer per core, 25.6GB/s DRAM, 400MHz.
+    std::vector<MemLevel> levels;
+    levels.push_back(regLevel(16 * kKiB, 1600.0));
+    levels.push_back(sramLevel("L1", 384 * kKiB, 409.6, /*fanout=*/1));
+    levels.push_back(dramLevel(25.6, /*fanout=*/4));
+    ArchSpec spec("TPU-derived", 0.4, std::move(levels), 16, 16, 48);
+    applyEnergyModel(spec);
+    return spec;
+}
+
+ArchSpec
+makeGpuLikeArch()
+{
+    // A100-class: 108 SMs, 192KB shared memory per SM, 40MB L2, HBM.
+    std::vector<MemLevel> levels;
+    levels.push_back(regLevel(256 * kKiB, 19000.0));
+    levels.push_back(sramLevel("Shared", 192 * kKiB, 128.0 * 1.41,
+                               /*fanout=*/1));
+    levels.push_back(sramLevel("L2", 40 * kMiB, 4000.0, /*fanout=*/108));
+    levels.push_back(dramLevel(1555.0, /*fanout=*/1));
+    ArchSpec spec("GPU-like", 1.41, std::move(levels), 32, 32, 128);
+    applyEnergyModel(spec);
+    return spec;
+}
+
+ArchSpec
+makeEdgeArchWithPEs(int pe_dim)
+{
+    // pe_dim x pe_dim MACs total over 4 cores; per-core array is the
+    // square root of the per-core MAC budget.
+    const double per_core = double(pe_dim) * pe_dim / 4.0;
+    const int side = std::max(1, int(std::lround(std::sqrt(per_core))));
+    std::vector<MemLevel> levels;
+    levels.push_back(regLevel(128 * kKiB, 4800.0));
+    levels.push_back(sramLevel("L1", 4 * kMiB, 1200.0, /*fanout=*/1));
+    levels.push_back(dramLevel(60.0, /*fanout=*/4));
+    ArchSpec spec("Edge-" + std::to_string(pe_dim), 1.0, std::move(levels),
+                  side, side, std::max(side, 8));
+    applyEnergyModel(spec);
+    return spec;
+}
+
+ArchSpec
+withL1Bandwidth(ArchSpec spec, double gbps)
+{
+    if (spec.numLevels() < 3)
+        fatal("withL1Bandwidth: spec has no distinct L1 level");
+    spec.levels()[1].bandwidthGBps = gbps;
+    return spec;
+}
+
+ArchSpec
+withoutMemoryLimits(ArchSpec spec)
+{
+    for (auto& level : spec.levels())
+        level.capacityBytes = 0;
+    return spec;
+}
+
+} // namespace tileflow

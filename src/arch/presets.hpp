@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Accelerator presets used across the evaluation:
+ *  - Edge and Cloud from Table 4,
+ *  - the TPU-derived validation accelerator from Sec. 7.1,
+ *  - a GPU-like (A100-class) specification for the Table 8 study.
+ *
+ * "# of PEs" in Table 4 is the total MAC count; the per-sub-core array
+ * is that total divided over cores x sub-cores (square arrays).
+ */
+
+#ifndef TILEFLOW_ARCH_PRESETS_HPP
+#define TILEFLOW_ARCH_PRESETS_HPP
+
+#include "arch/arch.hpp"
+
+namespace tileflow {
+
+/**
+ * Edge accelerator (Table 4): 32x32 total PEs, 4 cores x 1 sub-core
+ * (16x16 per core), 4MB L1 per core at 1.2TB/s, 60GB/s DRAM.
+ */
+ArchSpec makeEdgeArch();
+
+/** Edge with an overridden per-core L1 capacity (Fig. 13 study). */
+ArchSpec makeEdgeArch(int64_t l1_bytes);
+
+/**
+ * Cloud accelerator (Table 4): 256x256 total PEs, 4 cores x 16
+ * sub-cores (32x32 per sub-core), 20MB L1 + 40MB L2 per core,
+ * 384GB/s DRAM.
+ */
+ArchSpec makeCloudArch();
+
+/**
+ * The Sec. 7.1 validation accelerator: 4 cores, 16x16 matmul + 16x3
+ * vector arrays per core, 384KB on-chip buffer per core, 25.6GB/s
+ * DRAM, 400MHz, 16-bit words.
+ */
+ArchSpec makeValidationArch();
+
+/**
+ * GPU-like spec for Table 8: 108 sub-cores ("SMs") with 192KB shared
+ * memory each, a 40MB L2, and HBM-class DRAM bandwidth.
+ */
+ArchSpec makeGpuLikeArch();
+
+/**
+ * Scale the total PE budget of an Edge-style accelerator (Table 6
+ * sweep): `pe_dim` x `pe_dim` total MACs spread over 4 cores.
+ */
+ArchSpec makeEdgeArchWithPEs(int pe_dim);
+
+/** Override the L1 bandwidth of a spec (Fig. 14 sweep); level index 1. */
+ArchSpec withL1Bandwidth(ArchSpec spec, double gbps);
+
+/** Remove all on-chip capacity limits (Table 7 "No Memory Limit"). */
+ArchSpec withoutMemoryLimits(ArchSpec spec);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ARCH_PRESETS_HPP

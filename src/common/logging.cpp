@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tileflow {
+
+namespace {
+bool informEnabled = true;
+} // namespace
+
+void
+panicImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (informEnabled)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+} // namespace tileflow

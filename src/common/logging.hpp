@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Status/error reporting helpers in the style of gem5's logging.hh.
+ *
+ * fatal()  — the computation cannot continue because of a user error
+ *            (bad configuration, invalid mapping); throws FatalError so
+ *            callers and tests can catch it.
+ * panic()  — an internal invariant was violated (a TileFlow bug);
+ *            aborts the process.
+ * warn()   — something works but may be inaccurate or suspicious.
+ * inform() — plain status output.
+ */
+
+#ifndef TILEFLOW_COMMON_LOGGING_HPP
+#define TILEFLOW_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tileflow {
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream& os, const T& first, const Rest&... rest)
+{
+    os << first;
+    streamInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Format a sequence of values into a single string. */
+template <typename... Args>
+std::string
+concat(const Args&... args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    return os.str();
+}
+
+/** Report an unrecoverable user-level error by throwing FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    throw FatalError(concat(args...));
+}
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panicImpl(const std::string& msg);
+
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    panicImpl(concat(args...));
+}
+
+/** Emit a warning to stderr (does not stop execution). */
+void warnImpl(const std::string& msg);
+
+template <typename... Args>
+void
+warn(const Args&... args)
+{
+    warnImpl(concat(args...));
+}
+
+/** Emit an informational message to stdout. */
+void informImpl(const std::string& msg);
+
+template <typename... Args>
+void
+inform(const Args&... args)
+{
+    informImpl(concat(args...));
+}
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_COMMON_LOGGING_HPP

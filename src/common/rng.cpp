@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Rng is header-only; this translation unit exists so the build system
+// has an anchor for the component and future non-inline additions.

@@ -1,0 +1,55 @@
+#include "core/loop.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+std::string
+loopKindName(LoopKind kind)
+{
+    return kind == LoopKind::Temporal ? "temporal" : "spatial";
+}
+
+std::string
+scopeKindName(ScopeKind kind)
+{
+    switch (kind) {
+      case ScopeKind::Seq:
+        return "seq";
+      case ScopeKind::Shar:
+        return "shar";
+      case ScopeKind::Para:
+        return "para";
+      case ScopeKind::Pipe:
+        return "pipe";
+    }
+    panic("scopeKindName: unknown ScopeKind");
+}
+
+ScopeKind
+parseScopeKind(const std::string& name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "seq" || lower == "sequential")
+        return ScopeKind::Seq;
+    if (lower == "shar" || lower == "sharing")
+        return ScopeKind::Shar;
+    if (lower == "para" || lower == "parallel")
+        return ScopeKind::Para;
+    if (lower == "pipe" || lower == "pipeline")
+        return ScopeKind::Pipe;
+    fatal("parseScopeKind: unknown primitive '", name, "'");
+}
+
+bool
+isConcurrent(ScopeKind kind)
+{
+    return kind == ScopeKind::Para || kind == ScopeKind::Pipe;
+}
+
+} // namespace tileflow

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Loops and binding primitives of the tile-centric notation (Sec. 4).
+ */
+
+#ifndef TILEFLOW_CORE_LOOP_HPP
+#define TILEFLOW_CORE_LOOP_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "ir/operator.hpp"
+
+namespace tileflow {
+
+/**
+ * Intra-tile binding of one loop (Table 1): Sp maps the loop across
+ * spatial units, Tp across time steps.
+ */
+enum class LoopKind { Temporal, Spatial };
+
+std::string loopKindName(LoopKind kind);
+
+/** One loop of a tile: `for d in 0..extent` at this tile's level. */
+struct Loop
+{
+    DimId dim = -1;
+    int64_t extent = 1;
+    LoopKind kind = LoopKind::Temporal;
+
+    bool isSpatial() const { return kind == LoopKind::Spatial; }
+    bool isTemporal() const { return kind == LoopKind::Temporal; }
+};
+
+/**
+ * Inter-tile binding primitives (Table 1):
+ *  - Seq:  tiles take all resources in turns; buffers evicted between.
+ *  - Shar: tiles take compute in turns but share staged memory.
+ *  - Para: independent tiles run on disjoint compute+memory partitions.
+ *  - Pipe: dependent tiles run pipelined on disjoint partitions.
+ */
+enum class ScopeKind { Seq, Shar, Para, Pipe };
+
+std::string scopeKindName(ScopeKind kind);
+
+/** Parse "seq"/"shar"/"para"/"pipe" (case-insensitive); fatal() else. */
+ScopeKind parseScopeKind(const std::string& name);
+
+/** True for primitives whose tiles run concurrently (Para, Pipe). */
+bool isConcurrent(ScopeKind kind);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_CORE_LOOP_HPP

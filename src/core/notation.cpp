@@ -1,0 +1,263 @@
+#include "core/notation.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** Token stream over the notation text. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    /** Peek the next token without consuming it. */
+    std::string
+    peek()
+    {
+        const size_t saved = pos_;
+        std::string tok = next();
+        pos_ = saved;
+        return tok;
+    }
+
+    /** Consume and return the next token ("" at end of input). */
+    std::string
+    next()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return "";
+        const char c = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '@' || c == '/' || c == '-' || c == '.') {
+            size_t begin = pos_;
+            while (pos_ < text_.size() && isWordChar(text_[pos_]))
+                ++pos_;
+            return text_.substr(begin, pos_ - begin);
+        }
+        ++pos_;
+        return std::string(1, c);
+    }
+
+    /** Consume a token and require it to equal `expected`. */
+    void
+    expect(const std::string& expected)
+    {
+        const std::string tok = next();
+        if (tok != expected)
+            fatal("notation parse error: expected '", expected, "', got '",
+                  tok, "'");
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+  private:
+    static bool
+    isWordChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '@' || c == '/' || c == '-' || c == '.';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '#') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+int64_t
+parseInt(const std::string& tok, const std::string& what)
+{
+    if (tok.empty())
+        fatal("notation parse error: expected ", what);
+    for (char c : tok) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            fatal("notation parse error: expected integer ", what,
+                  ", got '", tok, "'");
+    }
+    return std::stoll(tok);
+}
+
+class Parser
+{
+  public:
+    Parser(const Workload& workload, const std::string& text)
+        : workload_(workload), lex_(text)
+    {
+    }
+
+    std::unique_ptr<Node>
+    parseNode()
+    {
+        const std::string head = lex_.next();
+        if (head == "tile")
+            return parseTile();
+        if (head == "op")
+            return parseOp();
+        if (head == "seq" || head == "shar" || head == "para" ||
+            head == "pipe") {
+            return parseScope(parseScopeKind(head));
+        }
+        fatal("notation parse error: unexpected token '", head, "'");
+    }
+
+    bool atEnd() { return lex_.atEnd(); }
+
+  private:
+    std::unique_ptr<Node>
+    parseTile()
+    {
+        const std::string level_tok = lex_.next();
+        if (level_tok.size() < 3 || level_tok[0] != '@' ||
+            level_tok[1] != 'L') {
+            fatal("notation parse error: expected '@L<n>' after 'tile', "
+                  "got '", level_tok, "'");
+        }
+        const int level =
+            int(parseInt(level_tok.substr(2), "memory level"));
+
+        lex_.expect("[");
+        std::vector<Loop> loops;
+        if (lex_.peek() != "]") {
+            while (true) {
+                loops.push_back(parseLoop());
+                const std::string sep = lex_.next();
+                if (sep == "]")
+                    break;
+                if (sep != ",")
+                    fatal("notation parse error: expected ',' or ']' in "
+                          "loop list, got '", sep, "'");
+            }
+        } else {
+            lex_.expect("]");
+        }
+
+        auto node = Node::makeTile(level, std::move(loops));
+        parseChildren(node.get());
+        return node;
+    }
+
+    Loop
+    parseLoop()
+    {
+        const std::string dim_name = lex_.next();
+        lex_.expect(":");
+        const std::string spec = lex_.next();
+        if (spec.size() < 2 || (spec[0] != 't' && spec[0] != 's'))
+            fatal("notation parse error: loop spec must be t<N> or s<N>, "
+                  "got '", spec, "'");
+        Loop loop;
+        loop.dim = workload_.dimId(dim_name);
+        loop.kind = spec[0] == 's' ? LoopKind::Spatial : LoopKind::Temporal;
+        loop.extent = parseInt(spec.substr(1), "loop extent");
+        return loop;
+    }
+
+    std::unique_ptr<Node>
+    parseScope(ScopeKind kind)
+    {
+        auto node = Node::makeScope(kind);
+        parseChildren(node.get());
+        return node;
+    }
+
+    std::unique_ptr<Node>
+    parseOp()
+    {
+        const std::string name = lex_.next();
+        return Node::makeOp(workload_.opId(name));
+    }
+
+    void
+    parseChildren(Node* node)
+    {
+        lex_.expect("{");
+        while (lex_.peek() != "}") {
+            if (lex_.atEnd())
+                fatal("notation parse error: missing '}'");
+            node->addChild(parseNode());
+        }
+        lex_.expect("}");
+    }
+
+    const Workload& workload_;
+    Lexer lex_;
+};
+
+void
+printNode(const Workload& workload, const Node* node, int indent,
+          std::ostringstream& os)
+{
+    const std::string pad(size_t(indent) * 2, ' ');
+    switch (node->type()) {
+      case NodeType::Tile: {
+        os << pad << "tile @L" << node->memLevel() << " [";
+        for (size_t i = 0; i < node->loops().size(); ++i) {
+            const Loop& loop = node->loops()[i];
+            if (i > 0)
+                os << ", ";
+            os << workload.dim(loop.dim).name << ":"
+               << (loop.isSpatial() ? "s" : "t") << loop.extent;
+        }
+        os << "]";
+        break;
+      }
+      case NodeType::Scope:
+        os << pad << scopeKindName(node->scopeKind());
+        break;
+      case NodeType::Op:
+        os << pad << "op " << workload.op(node->op()).name() << "\n";
+        return;
+    }
+    os << " {\n";
+    for (const auto& child : node->children())
+        printNode(workload, child.get(), indent + 1, os);
+    os << pad << "}\n";
+}
+
+} // namespace
+
+AnalysisTree
+parseNotation(const Workload& workload, const std::string& text)
+{
+    Parser parser(workload, text);
+    AnalysisTree tree(workload);
+    tree.setRoot(parser.parseNode());
+    if (!parser.atEnd())
+        fatal("notation parse error: trailing input after root node");
+    return tree;
+}
+
+std::string
+printNotation(const AnalysisTree& tree)
+{
+    std::ostringstream os;
+    if (tree.hasRoot())
+        printNode(tree.workload(), tree.root(), 0, os);
+    return os.str();
+}
+
+} // namespace tileflow

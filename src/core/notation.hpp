@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text form of the tile-centric notation (Sec. 4.2).
+ *
+ * Grammar (comments start with '#'):
+ *
+ *   node  := tile | scope | op
+ *   tile  := "tile" "@L" INT "[" loops? "]" "{" node* "}"
+ *   loops := loop ("," loop)*
+ *   loop  := DIM ":" ("t" | "s") INT       # t = Tp(), s = Sp()
+ *   scope := ("seq" | "shar" | "para" | "pipe") "{" node* "}"
+ *   op    := "op" NAME
+ *
+ * Example (the paper's Fig. 4 dataflow):
+ *
+ *   tile @L2 [i:t4, j:t4, l:t2] {
+ *     shar {
+ *       tile @L1 [i:s4, l:t8] {
+ *         pipe {
+ *           tile @L0 [i:t8, l:t8, k:t64] { op A }
+ *           tile @L0 [i:t8, l:t8]        { op B }
+ *         }
+ *       }
+ *       tile @L1 [i:s4, j:t16, l:t8] {
+ *         tile @L0 [i:t8, j:t4, l:t8] { op C }
+ *       }
+ *     }
+ *   }
+ */
+
+#ifndef TILEFLOW_CORE_NOTATION_HPP
+#define TILEFLOW_CORE_NOTATION_HPP
+
+#include <string>
+
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/**
+ * Parse a tile-centric notation string into an analysis tree over the
+ * given workload. Dim and op names must exist in the workload;
+ * malformed input raises fatal().
+ */
+AnalysisTree parseNotation(const Workload& workload,
+                           const std::string& text);
+
+/** Print a tree back to the canonical notation text. */
+std::string printNotation(const AnalysisTree& tree);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_CORE_NOTATION_HPP

@@ -1,0 +1,93 @@
+#include "core/tree.hpp"
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+Node*
+AnalysisTree::setRoot(std::unique_ptr<Node> root)
+{
+    root_ = std::move(root);
+    return root_.get();
+}
+
+AnalysisTree
+AnalysisTree::clone() const
+{
+    AnalysisTree copy(*workload_);
+    if (root_)
+        copy.setRoot(root_->clone());
+    return copy;
+}
+
+std::string
+AnalysisTree::str() const
+{
+    return root_ ? root_->str() : std::string("(empty tree)\n");
+}
+
+int64_t
+pathSpan(const Node* subtree, const Node* leaf, DimId dim)
+{
+    if (!leaf->isOp())
+        panic("pathSpan: leaf argument must be an Op node");
+    int64_t span = 1;
+    const Node* cursor = leaf;
+    while (cursor != nullptr) {
+        if (cursor->isTile()) {
+            for (const auto& loop : cursor->loops()) {
+                if (loop.dim == dim)
+                    span *= loop.extent;
+            }
+        }
+        if (cursor == subtree)
+            return span;
+        cursor = cursor->parent();
+    }
+    panic("pathSpan: leaf is not inside the given subtree");
+}
+
+int64_t
+subtreeSpan(const Node* subtree, DimId dim)
+{
+    int64_t best = 1;
+    for (const Node* leaf : subtree->opLeaves())
+        best = std::max(best, pathSpan(subtree, leaf, dim));
+    return best;
+}
+
+int64_t
+executionCount(const Node* node)
+{
+    int64_t count = 1;
+    for (const Node* cursor = node->parent(); cursor != nullptr;
+         cursor = cursor->parent()) {
+        if (cursor->isTile())
+            count *= cursor->temporalSteps() * cursor->spatialExtent();
+    }
+    return count;
+}
+
+const Node*
+enclosingTile(const Node* node)
+{
+    for (const Node* cursor = node->parent(); cursor != nullptr;
+         cursor = cursor->parent()) {
+        if (cursor->isTile())
+            return cursor;
+    }
+    return nullptr;
+}
+
+bool
+isAncestorOf(const Node* ancestor, const Node* node)
+{
+    for (const Node* cursor = node; cursor != nullptr;
+         cursor = cursor->parent()) {
+        if (cursor == ancestor)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tileflow

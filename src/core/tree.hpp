@@ -1,0 +1,81 @@
+/**
+ * @file
+ * AnalysisTree: the tree representation of one fusion dataflow mapping
+ * (concrete loop extents), plus the path/span queries the tree-based
+ * analysis of Sec. 5 is built on.
+ */
+
+#ifndef TILEFLOW_CORE_TREE_HPP
+#define TILEFLOW_CORE_TREE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tile.hpp"
+#include "ir/workload.hpp"
+
+namespace tileflow {
+
+/**
+ * One fusion-dataflow mapping for a workload: an owning tree of Nodes.
+ *
+ * The tree is the canonical mapping object — the tile-centric text
+ * notation (core/notation.hpp) parses to and prints from it.
+ */
+class AnalysisTree
+{
+  public:
+    explicit AnalysisTree(const Workload& workload)
+        : workload_(&workload)
+    {
+    }
+
+    AnalysisTree(AnalysisTree&&) = default;
+    AnalysisTree& operator=(AnalysisTree&&) = default;
+
+    const Workload& workload() const { return *workload_; }
+
+    /** Install the root node; returns an observer pointer. */
+    Node* setRoot(std::unique_ptr<Node> root);
+
+    Node* root() const { return root_.get(); }
+    bool hasRoot() const { return root_ != nullptr; }
+
+    /** Deep copy (same workload reference). */
+    AnalysisTree clone() const;
+
+    /** Indented structural dump (see also notation printer). */
+    std::string str() const;
+
+  private:
+    const Workload* workload_;
+    std::unique_ptr<Node> root_;
+};
+
+/**
+ * Product of the extents of loops over `dim` on the path from `subtree`
+ * (inclusive if it is a Tile) down to `leaf` (an Op node in the
+ * subtree). This is the span of `dim` covered by one full execution of
+ * `subtree` as seen by that leaf.
+ */
+int64_t pathSpan(const Node* subtree, const Node* leaf, DimId dim);
+
+/** Max pathSpan over all Op leaves in the subtree. */
+int64_t subtreeSpan(const Node* subtree, DimId dim);
+
+/**
+ * Number of times `node` executes in total: the product of temporal
+ * steps and spatial instances of all strict ancestors.
+ */
+int64_t executionCount(const Node* node);
+
+/** Nearest ancestor Tile node (nullptr at/above the root). */
+const Node* enclosingTile(const Node* node);
+
+/** True iff `ancestor` is `node` or one of its ancestors. */
+bool isAncestorOf(const Node* ancestor, const Node* node);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_CORE_TREE_HPP

@@ -1,0 +1,184 @@
+#include "core/validate.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace tileflow {
+
+namespace {
+
+void
+visit(const Workload& workload, const ArchSpec* spec, const Node* node,
+      int parent_level, std::vector<std::string>& problems)
+{
+    switch (node->type()) {
+      case NodeType::Tile: {
+        const int level = node->memLevel();
+        if (level < 0)
+            problems.push_back(
+                concat("tile has negative memory level ", level));
+        if (spec && level >= spec->numLevels())
+            problems.push_back(concat("tile level L", level,
+                                      " exceeds architecture hierarchy (",
+                                      spec->numLevels(), " levels)"));
+        if (parent_level >= 0 && level > parent_level)
+            problems.push_back(concat("tile level L", level,
+                                      " is above its parent tile L",
+                                      parent_level));
+        std::set<std::pair<DimId, bool>> seen;
+        for (const Loop& loop : node->loops()) {
+            if (loop.dim < 0 || size_t(loop.dim) >= workload.dims().size())
+                problems.push_back(
+                    concat("loop references unknown dim ", loop.dim));
+            if (loop.extent < 1)
+                problems.push_back(concat("loop over dim ", loop.dim,
+                                          " has extent ", loop.extent));
+            auto key = std::make_pair(loop.dim, loop.isSpatial());
+            if (!seen.insert(key).second)
+                problems.push_back(concat(
+                    "dim '", workload.dim(loop.dim).name,
+                    "' appears twice with the same kind in one tile"));
+        }
+        if (node->numChildren() == 0)
+            problems.push_back("tile node has no children");
+        for (const auto& child : node->children())
+            visit(workload, spec, child.get(), level, problems);
+        break;
+      }
+      case NodeType::Scope: {
+        if (node->numChildren() < 2)
+            problems.push_back(concat("scope '",
+                                      scopeKindName(node->scopeKind()),
+                                      "' has fewer than two children"));
+        for (const auto& child : node->children())
+            visit(workload, spec, child.get(), parent_level, problems);
+        break;
+      }
+      case NodeType::Op: {
+        if (node->op() < 0 || size_t(node->op()) >= workload.numOps()) {
+            problems.push_back(concat("op leaf references unknown op ",
+                                      node->op()));
+            break;
+        }
+        const Node* tile = enclosingTile(node);
+        if (!tile)
+            problems.push_back(concat("op '",
+                                      workload.op(node->op()).name(),
+                                      "' has no enclosing tile"));
+        else if (tile->memLevel() != 0)
+            problems.push_back(concat(
+                "op '", workload.op(node->op()).name(),
+                "' must sit under a level-0 tile, found L",
+                tile->memLevel()));
+        break;
+      }
+    }
+}
+
+void
+checkCoverage(const AnalysisTree& tree, std::vector<std::string>& problems)
+{
+    const Workload& workload = tree.workload();
+    for (const Node* leaf : tree.root()->opLeaves()) {
+        const Operator& op = workload.op(leaf->op());
+        for (DimId dim : op.dims()) {
+            const int64_t span = pathSpan(tree.root(), leaf, dim);
+            const int64_t extent = workload.dim(dim).extent;
+            if (span < extent) {
+                problems.push_back(concat(
+                    "op '", op.name(), "': dim '", workload.dim(dim).name,
+                    "' covered ", span, " < extent ", extent));
+            }
+        }
+    }
+}
+
+void
+checkOpMultiplicity(const AnalysisTree& tree,
+                    std::vector<std::string>& problems)
+{
+    const Workload& workload = tree.workload();
+    std::map<OpId, int> counts;
+    for (const Node* leaf : tree.root()->opLeaves())
+        counts[leaf->op()]++;
+    for (size_t i = 0; i < workload.numOps(); ++i) {
+        const int count = counts.count(OpId(i)) ? counts[OpId(i)] : 0;
+        if (count != 1) {
+            problems.push_back(concat("op '", workload.op(OpId(i)).name(),
+                                      "' appears ", count,
+                                      " times (expected exactly 1)"));
+        }
+    }
+}
+
+void
+checkFusionGranularity(const AnalysisTree& tree,
+                       std::vector<std::string>& problems)
+{
+    // Sec. 4.1: above a fused producer tile, only the *consumer's*
+    // reduction loops should appear; a producer's reduction loop in an
+    // ancestor tile serializes the pipeline. Advisory only.
+    const Workload& workload = tree.workload();
+    std::vector<const Node*> leaves = tree.root()->opLeaves();
+    for (const Node* leaf : leaves) {
+        const Operator& op = workload.op(leaf->op());
+        // Is this op a producer for another op in the tree?
+        bool is_producer = false;
+        for (TensorId t : op.outputTensors())
+            is_producer = is_producer || workload.isIntermediate(t);
+        if (!is_producer)
+            continue;
+        for (const Node* cursor = enclosingTile(leaf); cursor != nullptr;
+             cursor = enclosingTile(cursor)) {
+            // Only tiles that actually fuse several ops matter.
+            if (cursor->opsBelow().size() < 2)
+                continue;
+            for (const Loop& loop : cursor->loops()) {
+                if (loop.isTemporal() && loop.extent > 1 &&
+                    op.isReduction(loop.dim)) {
+                    problems.push_back(concat(
+                        "warn: producer op '", op.name(),
+                        "' has its reduction dim '",
+                        workload.dim(loop.dim).name,
+                        "' in a fusing ancestor tile; the pipeline will "
+                        "serialize"));
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateTree(const AnalysisTree& tree, const ArchSpec* spec)
+{
+    std::vector<std::string> problems;
+    if (!tree.hasRoot()) {
+        problems.push_back("tree has no root");
+        return problems;
+    }
+    if (!tree.root()->isTile())
+        problems.push_back("root node must be a tile");
+    visit(tree.workload(), spec, tree.root(), -1, problems);
+    if (problems.empty()) {
+        checkCoverage(tree, problems);
+        checkOpMultiplicity(tree, problems);
+        checkFusionGranularity(tree, problems);
+    }
+    return problems;
+}
+
+void
+checkTree(const AnalysisTree& tree, const ArchSpec* spec)
+{
+    for (const std::string& problem : validateTree(tree, spec)) {
+        if (!startsWith(problem, "warn:"))
+            fatal("invalid analysis tree: ", problem);
+    }
+}
+
+} // namespace tileflow

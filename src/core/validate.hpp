@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Structural validation of analysis trees.
+ *
+ * Checks well-formedness rules implied by Sec. 4:
+ *  - the root is a Tile and every Op leaf sits under a level-0 Tile;
+ *  - Tile memory levels never increase from parent to child;
+ *  - no dim appears twice in one Tile's loop list;
+ *  - every workload operator appears exactly once as a leaf;
+ *  - per op and dim, the loop extents along the root-to-leaf path
+ *    cover the dim extent;
+ *  - Scope nodes have at least two children.
+ *
+ * The fusion-granularity rule of Sec. 4.1 (a parent tile above a fused
+ * producer should only carry the *consumer's* reduction loops) is
+ * reported as a warning string prefixed "warn:" rather than an error,
+ * since the paper describes it as an efficiency rule.
+ */
+
+#ifndef TILEFLOW_CORE_VALIDATE_HPP
+#define TILEFLOW_CORE_VALIDATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/**
+ * Validate a tree; returns human-readable problem descriptions
+ * (empty means valid). Strings starting with "warn:" are advisory.
+ * If `spec` is given, tile levels are checked against its hierarchy.
+ */
+std::vector<std::string> validateTree(const AnalysisTree& tree,
+                                      const ArchSpec* spec = nullptr);
+
+/** Convenience: run validateTree and fatal() on the first hard error. */
+void checkTree(const AnalysisTree& tree, const ArchSpec* spec = nullptr);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_CORE_VALIDATE_HPP

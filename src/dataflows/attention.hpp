@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The self-attention fusion dataflows evaluated in the paper
+ * (Table 5): Layerwise, Uni-pipe, FLAT-{M,B,H,R}Gran, Chimera, and the
+ * TileFlow dataflow found by the mapper (Sec. 7.2: all three stages
+ * pipelined with every loop tiled).
+ *
+ * A dataflow is characterized by its *grain* — the DRAM-level temporal
+ * tiling of (b, h, m, l) deciding what gets staged on chip per outer
+ * step — plus the inter-tile binding of the fused stages. The builders
+ * emit analysis trees for both the Edge (3-level) and Cloud (4-level)
+ * hierarchies of Table 4.
+ */
+
+#ifndef TILEFLOW_DATAFLOWS_ATTENTION_HPP
+#define TILEFLOW_DATAFLOWS_ATTENTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+enum class AttentionDataflow {
+    Layerwise,  ///< no fusion; one op mapped to hardware at a time
+    UniPipe,    ///< pipeline all stages, no multi_heads/row tiling
+    FlatMGran,  ///< FLAT, no tiling (whole model staged)
+    FlatBGran,  ///< FLAT, batch tiled
+    FlatHGran,  ///< FLAT, batch + multi_heads tiled
+    FlatRGran,  ///< FLAT, batch + multi_heads + rows tiled
+    Chimera,    ///< fuse QK + softmax, all dims tiled
+    TileFlowDF, ///< mapper's pick: pipeline all stages, all loops tiled
+};
+
+std::string attentionDataflowName(AttentionDataflow dataflow);
+
+/** The six dataflows compared in Figs. 10 and 11. */
+const std::vector<AttentionDataflow>& mainAttentionDataflows();
+
+/**
+ * Free parameters of a fused attention tree. Defaults mean "not
+ * tiled"; attentionGrainFor() derives per-dataflow values.
+ */
+struct AttentionGrain
+{
+    /** DRAM-level temporal trip counts for batch / heads / rows /
+     *  columns. */
+    int64_t tB = 1;
+    int64_t tH = 1;
+    int64_t tM = 1;
+    int64_t tL = 1;
+
+    /** Distribute work spatially across cores (Uni-pipe and MGran run
+     *  on a single core). */
+    bool spatialCores = true;
+
+    /** true: Pipe(QK, softmax, LV) splitting the matrix array;
+     *  false: Shar(Pipe(QK, softmax), LV) timesharing it. */
+    bool pipeAll = false;
+
+    /** Fuse at all (false = Layerwise). */
+    bool fused = true;
+
+    /**
+     * FLAT's constraint: softmax rows stay resident — the innermost
+     * staging level holds full rows of S/L (no column tiling below the
+     * grain). TileFlow's dataflow does NOT need this because it tiles
+     * the column dimension and re-normalizes (Sec. 7.5/7.6); FLAT OOMs
+     * on long sequences exactly because of it (Table 8).
+     */
+    bool rowResident = false;
+};
+
+/** Derive the Table 5 grain for one dataflow on one (workload, arch). */
+AttentionGrain attentionGrainFor(AttentionDataflow dataflow,
+                                 const Workload& workload,
+                                 const ArchSpec& spec);
+
+/**
+ * Build the analysis tree for a dataflow, auto-fitting the column
+ * grain (tL) when the requested staging overflows on-chip capacity
+ * (Uni-pipe's behaviour on large shapes).
+ *
+ * The workload must come from buildAttention() with expand_softmax.
+ */
+AnalysisTree buildAttentionDataflow(const Workload& workload,
+                                    const ArchSpec& spec,
+                                    AttentionDataflow dataflow);
+
+/** Build a fused attention tree from explicit grain parameters
+ *  (the mapper sweeps these). */
+AnalysisTree buildAttentionTree(const Workload& workload,
+                                const ArchSpec& spec,
+                                const AttentionGrain& grain);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_DATAFLOWS_ATTENTION_HPP

@@ -1,0 +1,114 @@
+#include "dataflows/builder_util.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/mapping.hpp"
+
+namespace tileflow {
+
+void
+appendLoop(std::vector<Loop>& loops, DimId dim, int64_t extent,
+           LoopKind kind)
+{
+    if (extent > 1)
+        loops.push_back(Loop{dim, extent, kind});
+}
+
+std::unique_ptr<Node>
+buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
+                     OpId op_id, int top_level)
+{
+    const Operator& op = workload.op(op_id);
+    const size_t num_dims = workload.dims().size();
+
+    std::vector<DimId> parallel;
+    for (DimId d : op.dims()) {
+        if (!op.isReduction(d))
+            parallel.push_back(d);
+    }
+    if (parallel.empty())
+        fatal("buildSingleOpSubtree: op ", op.name(),
+              " has no parallel dims");
+
+    // --- L0: spatial mapping onto the PE array -------------------------
+    std::vector<int64_t> l0_cov(num_dims, 1);
+    std::vector<Loop> l0_loops;
+    if (op.kind() == ComputeKind::Matrix && parallel.size() >= 2) {
+        const DimId row_dim = parallel[parallel.size() - 2];
+        const DimId col_dim = parallel[parallel.size() - 1];
+        const int64_t rows = std::min<int64_t>(
+            spec.peRows(), workload.dim(row_dim).extent);
+        const int64_t cols = std::min<int64_t>(
+            spec.peCols(), workload.dim(col_dim).extent);
+        appendLoop(l0_loops, row_dim, rows, LoopKind::Spatial);
+        appendLoop(l0_loops, col_dim, cols, LoopKind::Spatial);
+        l0_cov[size_t(row_dim)] = rows;
+        l0_cov[size_t(col_dim)] = cols;
+    } else {
+        const DimId lane_dim = parallel.back();
+        const int64_t lanes = std::min<int64_t>(
+            op.kind() == ComputeKind::Matrix ? spec.pesPerSubCore()
+                                             : spec.vectorLanes(),
+            workload.dim(lane_dim).extent);
+        appendLoop(l0_loops, lane_dim, lanes, LoopKind::Spatial);
+        l0_cov[size_t(lane_dim)] = lanes;
+    }
+    for (DimId d : op.reductionDims()) {
+        const int64_t f0 =
+            std::min<int64_t>(16, workload.dim(d).extent);
+        appendLoop(l0_loops, d, f0, LoopKind::Temporal);
+        l0_cov[size_t(d)] = f0;
+    }
+
+    // --- Remaining trip counts above L0 --------------------------------
+    std::vector<int64_t> rem(num_dims, 1);
+    for (DimId d : op.dims())
+        rem[size_t(d)] = ceilDiv(workload.dim(d).extent, l0_cov[size_t(d)]);
+
+    // --- Spatial fanout, outermost level first -------------------------
+    std::vector<std::vector<Loop>> level_loops(size_t(top_level) + 1);
+    for (int level = top_level; level >= 1; --level) {
+        int64_t budget = spec.level(level).fanout;
+        if (budget <= 1)
+            continue;
+        for (DimId d : parallel) {
+            if (budget <= 1)
+                break;
+            const int64_t s = std::min(budget, rem[size_t(d)]);
+            if (s > 1) {
+                appendLoop(level_loops[size_t(level)], d, s,
+                           LoopKind::Spatial);
+                rem[size_t(d)] = ceilDiv(rem[size_t(d)], s);
+                budget /= s;
+            }
+        }
+    }
+
+    // --- Temporal splits of the leftovers -------------------------------
+    for (DimId d : op.dims()) {
+        if (rem[size_t(d)] <= 1)
+            continue;
+        const std::vector<int64_t> factors =
+            splitBalanced(rem[size_t(d)], top_level);
+        // factors are outermost-first: factors[0] -> top_level.
+        for (int level = top_level; level >= 1; --level) {
+            const int64_t f = factors[size_t(top_level - level)];
+            appendLoop(level_loops[size_t(level)], d, f,
+                       LoopKind::Temporal);
+        }
+    }
+
+    // --- Assemble inside-out --------------------------------------------
+    auto tile = Node::makeTile(0, std::move(l0_loops));
+    tile->addChild(Node::makeOp(op_id));
+    for (int level = 1; level <= top_level; ++level) {
+        auto parent =
+            Node::makeTile(level, std::move(level_loops[size_t(level)]));
+        parent->addChild(std::move(tile));
+        tile = std::move(parent);
+    }
+    return tile;
+}
+
+} // namespace tileflow

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Convolution-chain fusion dataflows (Table 5, Sec. 7.3):
+ *  - Layerwise: each convolution mapped separately;
+ *  - Fused-Layer [2]: both convolutions fused with height and width
+ *    tiled, intermediate activation tiles staged on chip;
+ *  - ISOS [70]: fused with only the width dimension tiled;
+ *  - TileFlow: the mapper's pick — the two convolutions pipelined with
+ *    their channel dimensions tiled.
+ */
+
+#ifndef TILEFLOW_DATAFLOWS_CONVCHAIN_HPP
+#define TILEFLOW_DATAFLOWS_CONVCHAIN_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+enum class ConvChainDataflow { Layerwise, FusedLayer, ISOS, TileFlowDF };
+
+std::string convChainDataflowName(ConvChainDataflow dataflow);
+
+/** The four dataflows compared in Fig. 12. */
+const std::vector<ConvChainDataflow>& mainConvChainDataflows();
+
+/** Free parameters of a fused conv-chain tree. */
+struct ConvChainGrain
+{
+    /** DRAM-level temporal trip counts. */
+    int64_t tH = 1;
+    int64_t tW = 1;
+    int64_t tL = 1;  ///< mid channels
+    int64_t tK2 = 1; ///< output channels
+
+    /** Pipe(conv1, conv2) vs Shar (tile-by-tile alternation). */
+    bool pipeline = false;
+
+    bool fused = true;
+};
+
+/** Derive the Table 5 grain for one dataflow. */
+ConvChainGrain convChainGrainFor(ConvChainDataflow dataflow,
+                                 const Workload& workload,
+                                 const ArchSpec& spec);
+
+/** Build the tree for a dataflow (auto-fits tH/tW on overflow). */
+AnalysisTree buildConvChainDataflow(const Workload& workload,
+                                    const ArchSpec& spec,
+                                    ConvChainDataflow dataflow);
+
+/** Build a fused conv-chain tree from explicit grain parameters. */
+AnalysisTree buildConvChainTree(const Workload& workload,
+                                const ArchSpec& spec,
+                                const ConvChainGrain& grain);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_DATAFLOWS_CONVCHAIN_HPP

@@ -1,0 +1,145 @@
+#include "geom/hyperrect.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+HyperRect::HyperRect(std::vector<int64_t> begins, std::vector<int64_t> ends)
+    : begins_(std::move(begins)), ends_(std::move(ends))
+{
+    if (begins_.size() != ends_.size())
+        panic("HyperRect: begins/ends rank mismatch (", begins_.size(),
+              " vs ", ends_.size(), ")");
+}
+
+HyperRect
+HyperRect::fromExtents(const std::vector<int64_t>& extents)
+{
+    std::vector<int64_t> begins(extents.size(), 0);
+    return HyperRect(std::move(begins), extents);
+}
+
+bool
+HyperRect::empty() const
+{
+    if (begins_.empty())
+        return true;
+    for (size_t d = 0; d < begins_.size(); ++d) {
+        if (ends_[d] <= begins_[d])
+            return true;
+    }
+    return false;
+}
+
+int64_t
+HyperRect::volume() const
+{
+    if (empty())
+        return 0;
+    int64_t vol = 1;
+    for (size_t d = 0; d < begins_.size(); ++d)
+        vol *= ends_[d] - begins_[d];
+    return vol;
+}
+
+HyperRect
+HyperRect::intersect(const HyperRect& other) const
+{
+    if (empty() || other.empty())
+        return HyperRect();
+    if (rank() != other.rank())
+        panic("HyperRect::intersect: rank mismatch (", rank(), " vs ",
+              other.rank(), ")");
+    std::vector<int64_t> begins(rank());
+    std::vector<int64_t> ends(rank());
+    for (size_t d = 0; d < rank(); ++d) {
+        begins[d] = std::max(begins_[d], other.begins_[d]);
+        ends[d] = std::min(ends_[d], other.ends_[d]);
+        if (ends[d] <= begins[d])
+            return HyperRect();
+    }
+    return HyperRect(std::move(begins), std::move(ends));
+}
+
+int64_t
+HyperRect::differenceVolume(const HyperRect& other) const
+{
+    return volume() - intersect(other).volume();
+}
+
+HyperRect
+HyperRect::boundingUnion(const HyperRect& other) const
+{
+    if (empty())
+        return other;
+    if (other.empty())
+        return *this;
+    if (rank() != other.rank())
+        panic("HyperRect::boundingUnion: rank mismatch");
+    std::vector<int64_t> begins(rank());
+    std::vector<int64_t> ends(rank());
+    for (size_t d = 0; d < rank(); ++d) {
+        begins[d] = std::min(begins_[d], other.begins_[d]);
+        ends[d] = std::max(ends_[d], other.ends_[d]);
+    }
+    return HyperRect(std::move(begins), std::move(ends));
+}
+
+HyperRect
+HyperRect::shifted(const std::vector<int64_t>& offset) const
+{
+    if (empty())
+        return *this;
+    if (offset.size() != rank())
+        panic("HyperRect::shifted: offset rank mismatch");
+    std::vector<int64_t> begins(rank());
+    std::vector<int64_t> ends(rank());
+    for (size_t d = 0; d < rank(); ++d) {
+        begins[d] = begins_[d] + offset[d];
+        ends[d] = ends_[d] + offset[d];
+    }
+    return HyperRect(std::move(begins), std::move(ends));
+}
+
+bool
+HyperRect::contains(const HyperRect& other) const
+{
+    if (other.empty())
+        return true;
+    if (empty() || rank() != other.rank())
+        return false;
+    for (size_t d = 0; d < rank(); ++d) {
+        if (other.begins_[d] < begins_[d] || other.ends_[d] > ends_[d])
+            return false;
+    }
+    return true;
+}
+
+bool
+HyperRect::operator==(const HyperRect& other) const
+{
+    if (empty() && other.empty())
+        return true;
+    return begins_ == other.begins_ && ends_ == other.ends_;
+}
+
+std::string
+HyperRect::str() const
+{
+    if (empty())
+        return "[empty]";
+    std::ostringstream os;
+    os << "[";
+    for (size_t d = 0; d < rank(); ++d) {
+        if (d > 0)
+            os << ", ";
+        os << begins_[d] << ":" << ends_[d];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace tileflow

@@ -1,0 +1,311 @@
+#include "ir/builders.hpp"
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** Projection term helper: one tensor dim addressed by `coeff * dim`. */
+std::vector<AccessTerm>
+term(DimId dim, int64_t coeff = 1)
+{
+    return {AccessTerm{dim, coeff}};
+}
+
+/** Projection for a tensor dim addressed by dim_a + dim_b (conv halo). */
+std::vector<AccessTerm>
+term2(DimId a, DimId b)
+{
+    return {AccessTerm{a, 1}, AccessTerm{b, 1}};
+}
+
+TensorAccess
+read(TensorId t, std::vector<std::vector<AccessTerm>> proj)
+{
+    TensorAccess access;
+    access.tensor = t;
+    access.isWrite = false;
+    access.projection = std::move(proj);
+    return access;
+}
+
+TensorAccess
+write(TensorId t, std::vector<std::vector<AccessTerm>> proj,
+      bool update = false)
+{
+    TensorAccess access;
+    access.tensor = t;
+    access.isWrite = true;
+    access.isUpdate = update;
+    access.projection = std::move(proj);
+    return access;
+}
+
+} // namespace
+
+Workload
+buildMatmul(const std::string& name, int64_t m, int64_t n, int64_t k,
+            DataType dtype)
+{
+    Workload w(name);
+    DimId di = w.addDim("i", m);
+    DimId dj = w.addDim("j", n);
+    DimId dk = w.addDim("k", k);
+
+    TensorId ta = w.addTensor(Tensor{"A", {m, k}, dtype});
+    TensorId tb = w.addTensor(Tensor{"B", {k, n}, dtype});
+    TensorId tc = w.addTensor(Tensor{"C", {m, n}, dtype});
+
+    Operator mm("matmul", ComputeKind::Matrix);
+    mm.addDim(di, false);
+    mm.addDim(dj, false);
+    mm.addDim(dk, true);
+    mm.addAccess(read(ta, {term(di), term(dk)}));
+    mm.addAccess(read(tb, {term(dk), term(dj)}));
+    mm.addAccess(write(tc, {term(di), term(dj)}, true));
+    w.addOp(std::move(mm));
+    return w;
+}
+
+Workload
+buildFig5Conv1d()
+{
+    Workload w("fig5-conv1d");
+    DimId di = w.addDim("i", 12); // i1 (3) x i0 (4)
+    DimId dj = w.addDim("j", 12); // j1 (3) x j0 (4)
+    DimId dk = w.addDim("k", 3);  // k0
+
+    TensorId ta = w.addTensor(Tensor{"A", {12, 14}});
+    TensorId tb = w.addTensor(Tensor{"B", {12, 3}});
+    TensorId tc = w.addTensor(Tensor{"C", {12, 12}});
+
+    Operator conv("conv1d", ComputeKind::Matrix);
+    conv.addDim(di, false);
+    conv.addDim(dj, false);
+    conv.addDim(dk, true);
+    conv.addAccess(read(ta, {term(di), term2(dj, dk)}));
+    conv.addAccess(read(tb, {term(di), term(dk)}));
+    conv.addAccess(write(tc, {term(di), term(dj)}, true));
+    w.addOp(std::move(conv));
+    return w;
+}
+
+Workload
+buildAttention(const AttentionShape& shape, bool expand_softmax)
+{
+    if (shape.hidden % shape.numHeads != 0)
+        fatal("buildAttention: hidden (", shape.hidden,
+              ") must be divisible by num_heads (", shape.numHeads, ")");
+
+    Workload w(shape.name);
+    const int64_t hd = shape.headDim();
+    DimId db = w.addDim("b", shape.batch);
+    DimId dh = w.addDim("h", shape.numHeads);
+    DimId dm = w.addDim("m", shape.seqLen);
+    DimId dl = w.addDim("l", shape.seqLen);
+    DimId dn = w.addDim("n", hd);
+    DimId dk = w.addDim("k", hd);
+
+    const std::vector<int64_t> mat_shape{shape.batch, shape.numHeads,
+                                         shape.seqLen, shape.seqLen};
+    const std::vector<int64_t> row_shape{shape.batch, shape.numHeads,
+                                         shape.seqLen};
+
+    TensorId tq = w.addTensor(
+        Tensor{"Q", {shape.batch, shape.numHeads, shape.seqLen, hd}});
+    TensorId tk = w.addTensor(
+        Tensor{"K", {shape.batch, shape.numHeads, hd, shape.seqLen}});
+    TensorId tv = w.addTensor(
+        Tensor{"V", {shape.batch, shape.numHeads, shape.seqLen, hd}});
+    TensorId ts = w.addTensor(Tensor{"S", mat_shape});
+
+    // S[b,h,m,l] += Q[b,h,m,k] * K[b,h,k,l]
+    Operator qk("QK", ComputeKind::Matrix);
+    qk.addDim(db, false);
+    qk.addDim(dh, false);
+    qk.addDim(dm, false);
+    qk.addDim(dl, false);
+    qk.addDim(dk, true);
+    qk.addAccess(read(tq, {term(db), term(dh), term(dm), term(dk)}));
+    qk.addAccess(read(tk, {term(db), term(dh), term(dk), term(dl)}));
+    qk.addAccess(write(ts, {term(db), term(dh), term(dm), term(dl)}, true));
+    w.addOp(std::move(qk));
+
+    TensorId tl = -1;
+    if (expand_softmax) {
+        TensorId tmx = w.addTensor(Tensor{"Mx", row_shape});
+        TensorId tsub = w.addTensor(Tensor{"Sub", mat_shape});
+        TensorId texp = w.addTensor(Tensor{"Exp", mat_shape});
+        TensorId tsum = w.addTensor(Tensor{"Sum", row_shape});
+        tl = w.addTensor(Tensor{"L", mat_shape});
+
+        // Mx[b,h,m] = max_l S[b,h,m,l]
+        Operator mx("max", ComputeKind::Vector);
+        mx.addDim(db, false);
+        mx.addDim(dh, false);
+        mx.addDim(dm, false);
+        mx.addDim(dl, true);
+        mx.addAccess(read(ts, {term(db), term(dh), term(dm), term(dl)}));
+        mx.addAccess(write(tmx, {term(db), term(dh), term(dm)}, true));
+        w.addOp(std::move(mx));
+
+        // Sub[b,h,m,l] = S[b,h,m,l] - Mx[b,h,m]
+        Operator sub("sub", ComputeKind::Vector);
+        sub.addDim(db, false);
+        sub.addDim(dh, false);
+        sub.addDim(dm, false);
+        sub.addDim(dl, false);
+        sub.addAccess(read(ts, {term(db), term(dh), term(dm), term(dl)}));
+        sub.addAccess(read(tmx, {term(db), term(dh), term(dm)}));
+        sub.addAccess(
+            write(tsub, {term(db), term(dh), term(dm), term(dl)}));
+        w.addOp(std::move(sub));
+
+        // Exp[b,h,m,l] = exp(Sub[b,h,m,l])
+        Operator ex("exp", ComputeKind::Vector);
+        ex.addDim(db, false);
+        ex.addDim(dh, false);
+        ex.addDim(dm, false);
+        ex.addDim(dl, false);
+        ex.addAccess(read(tsub, {term(db), term(dh), term(dm), term(dl)}));
+        ex.addAccess(write(texp, {term(db), term(dh), term(dm), term(dl)}));
+        w.addOp(std::move(ex));
+
+        // Sum[b,h,m] = sum_l Exp[b,h,m,l]
+        Operator sm("sum", ComputeKind::Vector);
+        sm.addDim(db, false);
+        sm.addDim(dh, false);
+        sm.addDim(dm, false);
+        sm.addDim(dl, true);
+        sm.addAccess(read(texp, {term(db), term(dh), term(dm), term(dl)}));
+        sm.addAccess(write(tsum, {term(db), term(dh), term(dm)}, true));
+        w.addOp(std::move(sm));
+
+        // L[b,h,m,l] = Exp[b,h,m,l] / Sum[b,h,m]
+        Operator dv("div", ComputeKind::Vector);
+        dv.addDim(db, false);
+        dv.addDim(dh, false);
+        dv.addDim(dm, false);
+        dv.addDim(dl, false);
+        dv.addAccess(read(texp, {term(db), term(dh), term(dm), term(dl)}));
+        dv.addAccess(read(tsum, {term(db), term(dh), term(dm)}));
+        dv.addAccess(write(tl, {term(db), term(dh), term(dm), term(dl)}));
+        w.addOp(std::move(dv));
+    } else {
+        tl = w.addTensor(Tensor{"L", mat_shape});
+        // L[b,h,m,l] = softmax_l(S[b,h,m,l]) as one vector operator.
+        Operator sf("softmax", ComputeKind::Vector, 4.0);
+        sf.addDim(db, false);
+        sf.addDim(dh, false);
+        sf.addDim(dm, false);
+        sf.addDim(dl, false);
+        sf.addAccess(read(ts, {term(db), term(dh), term(dm), term(dl)}));
+        sf.addAccess(write(tl, {term(db), term(dh), term(dm), term(dl)}));
+        w.addOp(std::move(sf));
+    }
+
+    TensorId tav = w.addTensor(
+        Tensor{"Att", {shape.batch, shape.numHeads, shape.seqLen, hd}});
+
+    // Att[b,h,m,n] += L[b,h,m,l] * V[b,h,l,n]
+    Operator lv("LV", ComputeKind::Matrix);
+    lv.addDim(db, false);
+    lv.addDim(dh, false);
+    lv.addDim(dm, false);
+    lv.addDim(dn, false);
+    lv.addDim(dl, true);
+    lv.addAccess(read(tl, {term(db), term(dh), term(dm), term(dl)}));
+    lv.addAccess(read(tv, {term(db), term(dh), term(dl), term(dn)}));
+    lv.addAccess(write(tav, {term(db), term(dh), term(dm), term(dn)}, true));
+    w.addOp(std::move(lv));
+    return w;
+}
+
+Workload
+buildConvChain(const ConvChainShape& shape)
+{
+    Workload w(shape.name);
+    const int64_t kf = shape.kernel;
+    DimId dh = w.addDim("h", shape.height);
+    DimId dw = w.addDim("w", shape.width);
+    DimId dc = w.addDim("c", shape.inC);
+    DimId dl = w.addDim("l", shape.outC1);
+    DimId dk2 = w.addDim("k2", shape.outC2);
+    DimId dr = w.addDim("r", kf);
+    DimId ds = w.addDim("s", kf);
+    DimId du = w.addDim("u", kf);
+    DimId dv = w.addDim("v", kf);
+
+    // Inputs are pre-padded so both convolutions keep H x W.
+    TensorId tim = w.addTensor(Tensor{
+        "Im", {shape.height + kf - 1, shape.width + kf - 1, shape.inC}});
+    TensorId tw1 =
+        w.addTensor(Tensor{"W1", {kf, kf, shape.inC, shape.outC1}});
+    TensorId tact = w.addTensor(Tensor{
+        "Act", {shape.height + kf - 1, shape.width + kf - 1, shape.outC1}});
+    TensorId tw2 =
+        w.addTensor(Tensor{"W2", {kf, kf, shape.outC1, shape.outC2}});
+    TensorId tout = w.addTensor(
+        Tensor{"Out", {shape.height, shape.width, shape.outC2}});
+
+    // Act[h,w,l] += Im[h+r, w+s, c] * W1[r,s,c,l]
+    Operator conv1("conv1", ComputeKind::Matrix);
+    conv1.addDim(dh, false);
+    conv1.addDim(dw, false);
+    conv1.addDim(dl, false);
+    conv1.addDim(dc, true);
+    conv1.addDim(dr, true);
+    conv1.addDim(ds, true);
+    conv1.addAccess(read(tim, {term2(dh, dr), term2(dw, ds), term(dc)}));
+    conv1.addAccess(read(tw1, {term(dr), term(ds), term(dc), term(dl)}));
+    conv1.addAccess(write(tact, {term(dh), term(dw), term(dl)}, true));
+    w.addOp(std::move(conv1));
+
+    // Out[h,w,k2] += Act[h+u, w+v, l] * W2[u,v,l,k2]
+    Operator conv2("conv2", ComputeKind::Matrix);
+    conv2.addDim(dh, false);
+    conv2.addDim(dw, false);
+    conv2.addDim(dk2, false);
+    conv2.addDim(dl, true);
+    conv2.addDim(du, true);
+    conv2.addDim(dv, true);
+    conv2.addAccess(read(tact, {term2(dh, du), term2(dw, dv), term(dl)}));
+    conv2.addAccess(read(tw2, {term(du), term(dv), term(dl), term(dk2)}));
+    conv2.addAccess(write(tout, {term(dh), term(dw), term(dk2)}, true));
+    w.addOp(std::move(conv2));
+    return w;
+}
+
+Workload
+buildMatmulExp(const std::string& name, int64_t m, int64_t n, int64_t k)
+{
+    Workload w(name);
+    DimId di = w.addDim("i", m);
+    DimId dj = w.addDim("j", n);
+    DimId dk = w.addDim("k", k);
+
+    TensorId ta = w.addTensor(Tensor{"A", {m, k}});
+    TensorId tb = w.addTensor(Tensor{"B", {k, n}});
+    TensorId tc = w.addTensor(Tensor{"C", {m, n}});
+    TensorId te = w.addTensor(Tensor{"E", {m, n}});
+
+    Operator mm("matmul", ComputeKind::Matrix);
+    mm.addDim(di, false);
+    mm.addDim(dj, false);
+    mm.addDim(dk, true);
+    mm.addAccess(read(ta, {term(di), term(dk)}));
+    mm.addAccess(read(tb, {term(dk), term(dj)}));
+    mm.addAccess(write(tc, {term(di), term(dj)}, true));
+    w.addOp(std::move(mm));
+
+    Operator ex("exp", ComputeKind::Vector);
+    ex.addDim(di, false);
+    ex.addDim(dj, false);
+    ex.addAccess(read(tc, {term(di), term(dj)}));
+    ex.addAccess(write(te, {term(di), term(dj)}));
+    w.addOp(std::move(ex));
+    return w;
+}
+
+} // namespace tileflow

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload builders for the operators and networks the paper evaluates:
+ * matrix multiplication (validation, Sec. 7.1), self-attention with the
+ * softmax expanded into max/sub/exp/sum/div (Sec. 7.2), and 3x3
+ * convolution chains (Sec. 7.3).
+ */
+
+#ifndef TILEFLOW_IR_BUILDERS_HPP
+#define TILEFLOW_IR_BUILDERS_HPP
+
+#include <cstdint>
+
+#include "ir/workload.hpp"
+
+namespace tileflow {
+
+/** Shape of a self-attention layer (paper Table 2). */
+struct AttentionShape
+{
+    std::string name;
+    int64_t batch = 1;
+    int64_t numHeads = 8;
+    int64_t seqLen = 512;
+    int64_t hidden = 512;
+
+    int64_t headDim() const { return hidden / numHeads; }
+};
+
+/** Shape of a two-convolution chain (paper Table 3; 3x3 filters). */
+struct ConvChainShape
+{
+    std::string name;
+    int64_t inC = 64;
+    int64_t height = 112;
+    int64_t width = 112;
+    int64_t outC1 = 192;
+    int64_t outC2 = 128;
+    int64_t kernel = 3;
+};
+
+/** C[i,j] += A[i,k] * B[k,j]. */
+Workload buildMatmul(const std::string& name, int64_t m, int64_t n,
+                     int64_t k, DataType dtype = DataType::Fp16);
+
+/**
+ * Batched 1D convolution from the paper's Fig. 5 worked example:
+ *
+ *   for (i1 = 0..2, j1 = 0..2) @temporal
+ *     for (i0 = 0..3, j0 = 0..3, k0 = 0..2) @spatial
+ *       C[i1*4+i0, j1*4+j0] += A[i1*4+i0, j1*4+j0+k0] * B[i1*4+i0, k0]
+ *
+ * Used by the data-movement unit tests to reproduce DM_A = 168.
+ */
+Workload buildFig5Conv1d();
+
+/**
+ * Self-attention: S = Q x K, L = Softmax(S), A = V x L.
+ *
+ * With expand_softmax the softmax becomes five vector operators
+ * (max/sub/exp/sum/div) as in Sec. 7.2; otherwise it is one vector
+ * operator reading S row-wise.
+ *
+ * Dims: b (batch), h (heads), m (rows), l (columns / inner seq),
+ * n (output head dim), k (QK reduction).
+ */
+Workload buildAttention(const AttentionShape& shape,
+                        bool expand_softmax = true);
+
+/**
+ * Convolution chain: Act = Conv(Im, W1), Out = Conv(Act, W2), both with
+ * kernel x kernel filters, stride 1 (inputs pre-padded so output spatial
+ * size equals `height x width`).
+ *
+ * Dims: h, w (spatial), c (input channels), l (mid channels),
+ * k2 (output channels), r/s and u/v (filter offsets).
+ */
+Workload buildConvChain(const ConvChainShape& shape);
+
+/** C = exp(A) over an m x n matrix (simple two-op chain for tests). */
+Workload buildMatmulExp(const std::string& name, int64_t m, int64_t n,
+                        int64_t k);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_IR_BUILDERS_HPP

@@ -1,0 +1,56 @@
+#include "ir/shapes.hpp"
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+const std::vector<AttentionShape>&
+attentionShapes()
+{
+    // name, batch, num_heads, seq_len, hidden — paper Table 2.
+    static const std::vector<AttentionShape> shapes = {
+        {"Bert-S", 1, 8, 512, 512},     {"Bert-B", 1, 12, 512, 768},
+        {"Bert-L", 1, 16, 512, 1024},   {"ViT/14-B", 1, 12, 256, 768},
+        {"ViT/14-L", 1, 16, 256, 1024}, {"ViT/14-H", 1, 16, 256, 1280},
+        {"ViT/16-B", 1, 12, 196, 768},  {"ViT/16-L", 1, 16, 196, 1024},
+        {"ViT/16-H", 1, 16, 196, 1280}, {"T5", 1, 16, 1024, 1024},
+        {"XLM", 1, 12, 1024, 768},
+    };
+    return shapes;
+}
+
+const AttentionShape&
+attentionShape(const std::string& name)
+{
+    for (const auto& s : attentionShapes()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("attentionShape: unknown shape '", name, "'");
+}
+
+const std::vector<ConvChainShape>&
+convChainShapes()
+{
+    // name, In_C, Height, Width, Out_C1, Out_C2 — paper Table 3.
+    static const std::vector<ConvChainShape> shapes = {
+        {"CC1", 64, 112, 112, 192, 128, 3},
+        {"CC2", 32, 147, 147, 64, 80, 3},
+        {"CC3", 64, 56, 56, 128, 64, 3},
+        {"CC4", 128, 28, 28, 256, 128, 3},
+        {"CC5", 16, 227, 227, 64, 16, 3},
+    };
+    return shapes;
+}
+
+const ConvChainShape&
+convChainShape(const std::string& name)
+{
+    for (const auto& s : convChainShapes()) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("convChainShape: unknown shape '", name, "'");
+}
+
+} // namespace tileflow

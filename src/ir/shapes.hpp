@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Input-shape registries from the paper's evaluation:
+ * Table 2 (self-attention) and Table 3 (convolution chains).
+ */
+
+#ifndef TILEFLOW_IR_SHAPES_HPP
+#define TILEFLOW_IR_SHAPES_HPP
+
+#include <vector>
+
+#include "ir/builders.hpp"
+
+namespace tileflow {
+
+/** All eleven self-attention shapes of Table 2 (batch 1). */
+const std::vector<AttentionShape>& attentionShapes();
+
+/** Lookup by name ("Bert-S", "ViT/16-L", ...); fatal() if unknown. */
+const AttentionShape& attentionShape(const std::string& name);
+
+/** The five convolution-chain shapes of Table 3. */
+const std::vector<ConvChainShape>& convChainShapes();
+
+/** Lookup by name ("CC1".."CC5"); fatal() if unknown. */
+const ConvChainShape& convChainShape(const std::string& name);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_IR_SHAPES_HPP

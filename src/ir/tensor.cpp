@@ -1,0 +1,44 @@
+#include "ir/tensor.hpp"
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+int64_t
+dataTypeBytes(DataType type)
+{
+    switch (type) {
+      case DataType::Int8:
+        return 1;
+      case DataType::Fp16:
+        return 2;
+      case DataType::Fp32:
+        return 4;
+    }
+    panic("dataTypeBytes: unknown DataType");
+}
+
+std::string
+dataTypeName(DataType type)
+{
+    switch (type) {
+      case DataType::Int8:
+        return "int8";
+      case DataType::Fp16:
+        return "fp16";
+      case DataType::Fp32:
+        return "fp32";
+    }
+    panic("dataTypeName: unknown DataType");
+}
+
+int64_t
+Tensor::numElements() const
+{
+    int64_t n = 1;
+    for (int64_t extent : shape)
+        n *= extent;
+    return n;
+}
+
+} // namespace tileflow

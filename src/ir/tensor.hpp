@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tensors and data types for the workload IR.
+ */
+
+#ifndef TILEFLOW_IR_TENSOR_HPP
+#define TILEFLOW_IR_TENSOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tileflow {
+
+/** Element data type; the paper's accelerator uses 16-bit words. */
+enum class DataType { Int8, Fp16, Fp32 };
+
+/** Size in bytes of one element of the given type. */
+int64_t dataTypeBytes(DataType type);
+
+/** Printable name ("fp16" etc.). */
+std::string dataTypeName(DataType type);
+
+using TensorId = int;
+
+/**
+ * A dense tensor in a workload.
+ *
+ * Tensors are referenced by TensorId (index into Workload::tensors());
+ * operators attach affine access projections to them.
+ */
+struct Tensor
+{
+    std::string name;
+    std::vector<int64_t> shape;
+    DataType dtype = DataType::Fp16;
+
+    /** Number of elements. */
+    int64_t numElements() const;
+
+    /** Size in bytes. */
+    int64_t sizeBytes() const { return numElements() * dataTypeBytes(dtype); }
+
+    size_t rank() const { return shape.size(); }
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_IR_TENSOR_HPP

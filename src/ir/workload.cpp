@@ -1,0 +1,162 @@
+#include "ir/workload.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+DimId
+Workload::addDim(const std::string& name, int64_t extent)
+{
+    for (const auto& d : dims_) {
+        if (d.name == name)
+            fatal("Workload ", name_, ": duplicate dim name '", name, "'");
+    }
+    if (extent < 1)
+        fatal("Workload ", name_, ": dim '", name, "' extent must be >= 1");
+    dims_.push_back(Dim{name, extent});
+    return DimId(dims_.size() - 1);
+}
+
+TensorId
+Workload::addTensor(Tensor tensor)
+{
+    for (const auto& t : tensors_) {
+        if (t.name == tensor.name)
+            fatal("Workload ", name_, ": duplicate tensor name '",
+                  tensor.name, "'");
+    }
+    tensors_.push_back(std::move(tensor));
+    return TensorId(tensors_.size() - 1);
+}
+
+OpId
+Workload::addOp(Operator op)
+{
+    for (const auto& access : op.accesses()) {
+        if (access.tensor < 0 || size_t(access.tensor) >= tensors_.size())
+            fatal("Workload ", name_, ": op ", op.name(),
+                  " references unregistered tensor id ", access.tensor);
+        const auto& tensor = tensors_[size_t(access.tensor)];
+        if (access.projection.size() != tensor.rank())
+            fatal("Workload ", name_, ": op ", op.name(), " accesses ",
+                  tensor.name, " with rank ", access.projection.size(),
+                  " projection but tensor rank is ", tensor.rank());
+    }
+    ops_.push_back(std::move(op));
+    return OpId(ops_.size() - 1);
+}
+
+DimId
+Workload::dimId(const std::string& name) const
+{
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (dims_[i].name == name)
+            return DimId(i);
+    }
+    fatal("Workload ", name_, ": unknown dim '", name, "'");
+}
+
+TensorId
+Workload::tensorId(const std::string& name) const
+{
+    for (size_t i = 0; i < tensors_.size(); ++i) {
+        if (tensors_[i].name == name)
+            return TensorId(i);
+    }
+    fatal("Workload ", name_, ": unknown tensor '", name, "'");
+}
+
+OpId
+Workload::opId(const std::string& name) const
+{
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        if (ops_[i].name() == name)
+            return OpId(i);
+    }
+    fatal("Workload ", name_, ": unknown op '", name, "'");
+}
+
+OpId
+Workload::producerOf(TensorId tensor) const
+{
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        for (const auto& access : ops_[i].accesses()) {
+            if (access.isWrite && access.tensor == tensor)
+                return OpId(i);
+        }
+    }
+    return -1;
+}
+
+std::vector<OpId>
+Workload::consumersOf(TensorId tensor) const
+{
+    std::vector<OpId> out;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        for (const auto& access : ops_[i].accesses()) {
+            if (!access.isWrite && access.tensor == tensor) {
+                out.push_back(OpId(i));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+Workload::isIntermediate(TensorId tensor) const
+{
+    return producerOf(tensor) >= 0 && !consumersOf(tensor).empty();
+}
+
+std::vector<TensorId>
+Workload::inputTensors() const
+{
+    std::vector<TensorId> out;
+    for (size_t t = 0; t < tensors_.size(); ++t) {
+        if (producerOf(TensorId(t)) < 0 &&
+            !consumersOf(TensorId(t)).empty()) {
+            out.push_back(TensorId(t));
+        }
+    }
+    return out;
+}
+
+std::vector<TensorId>
+Workload::outputTensors() const
+{
+    std::vector<TensorId> out;
+    for (size_t t = 0; t < tensors_.size(); ++t) {
+        if (producerOf(TensorId(t)) >= 0 &&
+            consumersOf(TensorId(t)).empty()) {
+            out.push_back(TensorId(t));
+        }
+    }
+    return out;
+}
+
+double
+Workload::totalOps() const
+{
+    double total = 0.0;
+    for (const auto& op : ops_) {
+        double points = 1.0;
+        for (DimId d : op.dims())
+            points *= double(dims_[size_t(d)].extent);
+        total += points * op.opsPerPoint();
+    }
+    return total;
+}
+
+std::vector<int64_t>
+Workload::dimExtents() const
+{
+    std::vector<int64_t> out(dims_.size());
+    for (size_t i = 0; i < dims_.size(); ++i)
+        out[i] = dims_[i].extent;
+    return out;
+}
+
+} // namespace tileflow

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Search-space encodings for the TileFlow mapper (Sec. 6, Fig. 7).
+ *
+ * Following Fig. 7b/7c, a candidate fusion mapping is a vector of knob
+ * choices. *Structural* knobs encode the ordering/binding tables of
+ * Fig. 7b (which ops fuse, at what level, with which primitive);
+ * *factor* knobs encode the tiling table of Fig. 7c (one trip count
+ * per tiled loop). The genetic algorithm evolves structural genes and
+ * the MCTS fills the factor genes.
+ */
+
+#ifndef TILEFLOW_MAPPER_ENCODING_HPP
+#define TILEFLOW_MAPPER_ENCODING_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** One search dimension. */
+struct Knob
+{
+    std::string name;
+    std::vector<int64_t> choices;
+
+    /** Structural knobs belong to the GA, factor knobs to the MCTS. */
+    bool structural = false;
+};
+
+/** A full search space: knobs plus a tree builder over choices. */
+class MappingSpace
+{
+  public:
+    using Builder =
+        std::function<AnalysisTree(const std::vector<int64_t>& choices)>;
+
+    MappingSpace(std::vector<Knob> knobs, Builder builder)
+        : knobs_(std::move(knobs)), builder_(std::move(builder))
+    {
+    }
+
+    const std::vector<Knob>& knobs() const { return knobs_; }
+    size_t numKnobs() const { return knobs_.size(); }
+
+    /** Indices of structural / factor knobs. */
+    std::vector<size_t> structuralKnobs() const;
+    std::vector<size_t> factorKnobs() const;
+
+    /** Instantiate a tree; `choices[i]` must come from knob i. */
+    AnalysisTree build(const std::vector<int64_t>& choices) const
+    {
+        return builder_(choices);
+    }
+
+    /** A default choice vector (first entry of every knob). */
+    std::vector<int64_t> defaultChoices() const;
+
+    /** Number of distinct structural configurations. */
+    int64_t structuralSpaceSize() const;
+
+    /** Number of distinct tiling configurations. */
+    int64_t factorSpaceSize() const;
+
+  private:
+    std::vector<Knob> knobs_;
+    Builder builder_;
+};
+
+/** Geometric factor menu for a dim: {1, 2, 4, ..., extent}. */
+std::vector<int64_t> factorMenu(int64_t extent);
+
+/**
+ * The attention search space (ordering x binding x tiling): structural
+ * knobs {fused, pipeAll, spatialCores} and factor knobs {tB, tH, tM,
+ * tL}, built on buildAttentionTree.
+ */
+MappingSpace makeAttentionSpace(const Workload& workload,
+                                const ArchSpec& spec);
+
+/** Attention tiling-only space (fixed TileFlow structure; Fig. 9a). */
+MappingSpace makeAttentionTilingSpace(const Workload& workload,
+                                      const ArchSpec& spec);
+
+/**
+ * The convolution-chain search space: structural knobs {fused,
+ * pipeline} and factor knobs {tH, tW, tL}.
+ */
+MappingSpace makeConvChainSpace(const Workload& workload,
+                                const ArchSpec& spec);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_MAPPER_ENCODING_HPP

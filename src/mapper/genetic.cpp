@@ -1,0 +1,92 @@
+#include "mapper/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "mapper/mcts.hpp"
+
+namespace tileflow {
+
+GeneticResult
+GeneticMapper::run()
+{
+    GeneticResult result;
+    Rng rng(config_.seed);
+    MctsTuner tuner(*evaluator_, *space_, rng);
+
+    const std::vector<size_t> structural = space_->structuralKnobs();
+
+    auto random_individual = [&]() {
+        Individual ind;
+        ind.choices = space_->defaultChoices();
+        for (size_t idx : structural) {
+            ind.choices[idx] =
+                rng.choice(space_->knobs()[idx].choices);
+        }
+        return ind;
+    };
+
+    auto evaluate = [&](Individual& ind) {
+        const MctsResult tuned =
+            tuner.tune(ind.choices, config_.mctsSamplesPerIndividual);
+        result.evaluations += config_.mctsSamplesPerIndividual;
+        ind.valid = tuned.found;
+        ind.cycles = tuned.found
+                         ? tuned.bestCycles
+                         : std::numeric_limits<double>::max();
+        if (tuned.found)
+            ind.choices = tuned.bestChoices;
+    };
+
+    std::vector<Individual> population;
+    for (int i = 0; i < config_.populationSize; ++i)
+        population.push_back(random_individual());
+
+    Individual best;
+    best.cycles = std::numeric_limits<double>::max();
+
+    for (int gen = 0; gen < config_.generations; ++gen) {
+        for (Individual& ind : population)
+            evaluate(ind);
+
+        std::sort(population.begin(), population.end(),
+                  [](const Individual& a, const Individual& b) {
+                      return a.cycles < b.cycles;
+                  });
+        if (population.front().valid &&
+            population.front().cycles < best.cycles) {
+            best = population.front();
+        }
+        result.trace.push_back(best.cycles);
+
+        // Elitism + crossover + mutation.
+        const int keep =
+            std::min<int>(config_.topK, int(population.size()));
+        std::vector<Individual> next(population.begin(),
+                                     population.begin() + keep);
+        while (int(next.size()) < config_.populationSize) {
+            const Individual& a =
+                population[rng.index(size_t(keep))];
+            const Individual& b =
+                population[rng.index(size_t(keep))];
+            Individual child;
+            child.choices = a.choices;
+            for (size_t idx : structural) {
+                if (rng.flip(0.5))
+                    child.choices[idx] = b.choices[idx];
+                if (rng.flip(config_.mutationRate)) {
+                    child.choices[idx] =
+                        rng.choice(space_->knobs()[idx].choices);
+                }
+            }
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+
+    result.best = best;
+    return result;
+}
+
+} // namespace tileflow

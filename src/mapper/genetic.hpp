@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Genetic algorithm over structural encodings (Sec. 6, Fig. 7a/7b).
+ *
+ * The GA evolves the ordering/binding genes (which ops fuse, which
+ * primitive binds them, whether work spreads across cores); each
+ * individual's fitness comes from an MCTS pass over its tiling table.
+ * The top-K individuals seed the next population through crossover
+ * and mutation.
+ */
+
+#ifndef TILEFLOW_MAPPER_GENETIC_HPP
+#define TILEFLOW_MAPPER_GENETIC_HPP
+
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "common/rng.hpp"
+#include "mapper/encoding.hpp"
+
+namespace tileflow {
+
+/** GA configuration. */
+struct GeneticConfig
+{
+    int populationSize = 8;
+    int generations = 10;
+    int topK = 3;
+    double mutationRate = 0.25;
+    int mctsSamplesPerIndividual = 40;
+    uint64_t seed = 0x7ea51eafULL;
+};
+
+/** One evolved individual. */
+struct Individual
+{
+    std::vector<int64_t> choices;
+    double cycles = 0.0;
+    bool valid = false;
+};
+
+/** GA outcome. */
+struct GeneticResult
+{
+    Individual best;
+
+    /** Best-so-far cycles after each generation (Fig. 9b/9c traces). */
+    std::vector<double> trace;
+
+    /** Total mappings evaluated. */
+    int evaluations = 0;
+};
+
+/** The GA driver; composes with MctsTuner per individual. */
+class GeneticMapper
+{
+  public:
+    GeneticMapper(const Evaluator& evaluator, const MappingSpace& space,
+                  GeneticConfig config = {})
+        : evaluator_(&evaluator), space_(&space), config_(config)
+    {
+    }
+
+    GeneticResult run();
+
+  private:
+    const Evaluator* evaluator_;
+    const MappingSpace* space_;
+    GeneticConfig config_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_MAPPER_GENETIC_HPP

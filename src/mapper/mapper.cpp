@@ -1,0 +1,50 @@
+#include "mapper/mapper.hpp"
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+MapperResult
+exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
+             const MapperConfig& config)
+{
+    GeneticConfig ga;
+    ga.generations = config.rounds;
+    ga.populationSize = config.population;
+    ga.mctsSamplesPerIndividual = config.tilingSamples;
+    ga.seed = config.seed;
+
+    GeneticMapper mapper(evaluator, space, ga);
+    const GeneticResult ga_result = mapper.run();
+
+    MapperResult result(evaluator.workload());
+    result.trace = ga_result.trace;
+    result.evaluations = ga_result.evaluations;
+    if (ga_result.best.valid) {
+        result.found = true;
+        result.bestCycles = ga_result.best.cycles;
+        result.bestTree = space.build(ga_result.best.choices);
+    }
+    return result;
+}
+
+MapperResult
+exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
+              int samples, uint64_t seed)
+{
+    Rng rng(seed);
+    MctsTuner tuner(evaluator, space, rng);
+    const MctsResult tuned = tuner.tune(space.defaultChoices(), samples);
+
+    MapperResult result(evaluator.workload());
+    result.trace = tuned.trace;
+    result.evaluations = samples;
+    if (tuned.found) {
+        result.found = true;
+        result.bestCycles = tuned.bestCycles;
+        result.bestTree = space.build(tuned.bestChoices);
+    }
+    return result;
+}
+
+} // namespace tileflow

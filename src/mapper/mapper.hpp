@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The TileFlow mapper facade (Sec. 6): genetic algorithm over the
+ * ordering/binding space combined with MCTS over tiling tables.
+ */
+
+#ifndef TILEFLOW_MAPPER_MAPPER_HPP
+#define TILEFLOW_MAPPER_MAPPER_HPP
+
+#include <string>
+
+#include "analysis/evaluator.hpp"
+#include "mapper/encoding.hpp"
+#include "mapper/genetic.hpp"
+#include "mapper/mcts.hpp"
+
+namespace tileflow {
+
+/** Mapper configuration (maps onto Sec. 7.2's round structure). */
+struct MapperConfig
+{
+    /** GA generations ("rounds" in Fig. 9b/9c). */
+    int rounds = 10;
+
+    /** Individuals per generation. */
+    int population = 8;
+
+    /** MCTS samples used to tune each individual's tiling. */
+    int tilingSamples = 40;
+
+    uint64_t seed = 0x7ea51eafULL;
+};
+
+/** Exploration outcome. */
+struct MapperResult
+{
+    AnalysisTree bestTree;
+    double bestCycles = 0.0;
+    bool found = false;
+
+    /** Best-so-far cycles per round. */
+    std::vector<double> trace;
+
+    int evaluations = 0;
+
+    explicit MapperResult(const Workload& workload)
+        : bestTree(workload)
+    {
+    }
+};
+
+/** Run the full 3D-space exploration over a mapping space. */
+MapperResult exploreSpace(const Evaluator& evaluator,
+                          const MappingSpace& space,
+                          const MapperConfig& config = {});
+
+/** Run a tiling-only exploration (Fig. 9a): structural knobs fixed at
+ *  their defaults, pure MCTS over the factors. */
+MapperResult exploreTiling(const Evaluator& evaluator,
+                           const MappingSpace& space, int samples,
+                           uint64_t seed = 0x7ea51eafULL);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_MAPPER_MAPPER_HPP

@@ -1,0 +1,118 @@
+#include "mapper/mcts.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** One node of the search tree: a prefix of factor decisions. */
+struct SearchNode
+{
+    int visits = 0;
+    double totalReward = 0.0;
+    std::vector<std::unique_ptr<SearchNode>> children;
+
+    double
+    ucb(int parent_visits, double exploration) const
+    {
+        if (visits == 0)
+            return std::numeric_limits<double>::infinity();
+        const double mean = totalReward / double(visits);
+        return mean + exploration * std::sqrt(std::log(double(
+                                                  parent_visits + 1)) /
+                                              double(visits));
+    }
+};
+
+} // namespace
+
+MctsResult
+MctsTuner::tune(const std::vector<int64_t>& base, int samples)
+{
+    MctsResult result;
+    const std::vector<size_t> factor_idx = space_->factorKnobs();
+    if (factor_idx.empty()) {
+        // Nothing to tune: evaluate the base directly.
+        const EvalResult eval = evaluator_->evaluate(space_->build(base));
+        if (eval.valid) {
+            result.found = true;
+            result.bestChoices = base;
+            result.bestCycles = eval.cycles;
+            result.trace.push_back(eval.cycles);
+        }
+        return result;
+    }
+
+    SearchNode root;
+    double best = std::numeric_limits<double>::infinity();
+
+    for (int sample = 0; sample < samples; ++sample) {
+        std::vector<int64_t> choices = base;
+        std::vector<SearchNode*> path{&root};
+
+        // Selection + expansion down the factor-knob decisions.
+        SearchNode* node = &root;
+        size_t depth = 0;
+        for (; depth < factor_idx.size(); ++depth) {
+            const Knob& knob = space_->knobs()[factor_idx[depth]];
+            if (node->children.empty()) {
+                node->children.resize(knob.choices.size());
+                for (auto& child : node->children)
+                    child = std::make_unique<SearchNode>();
+            }
+            size_t pick = 0;
+            double best_ucb = -std::numeric_limits<double>::infinity();
+            for (size_t i = 0; i < node->children.size(); ++i) {
+                const double u = node->children[i]->ucb(node->visits,
+                                                        exploration_);
+                if (u > best_ucb) {
+                    best_ucb = u;
+                    pick = i;
+                }
+            }
+            choices[factor_idx[depth]] = knob.choices[pick];
+            node = node->children[pick].get();
+            path.push_back(node);
+            if (node->visits == 0) {
+                ++depth;
+                break;
+            }
+        }
+        // Rollout: complete the remaining knobs uniformly at random.
+        for (; depth < factor_idx.size(); ++depth) {
+            const Knob& knob = space_->knobs()[factor_idx[depth]];
+            choices[factor_idx[depth]] = rng_->choice(knob.choices);
+        }
+
+        // Evaluate the complete mapping.
+        const EvalResult eval =
+            evaluator_->evaluate(space_->build(choices));
+        double reward = 0.0;
+        if (eval.valid && eval.cycles > 0.0) {
+            // Reward in (0, 1]: fraction of the best cycles seen.
+            if (eval.cycles < best) {
+                best = eval.cycles;
+                result.bestChoices = choices;
+                result.found = true;
+            }
+            reward = best / eval.cycles;
+        }
+        result.bestCycles = best;
+        result.trace.push_back(result.found
+                                   ? best
+                                   : std::numeric_limits<double>::max());
+
+        for (SearchNode* n : path) {
+            n->visits += 1;
+            n->totalReward += reward;
+        }
+    }
+    return result;
+}
+
+} // namespace tileflow

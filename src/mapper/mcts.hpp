@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Monte-Carlo Tree Search over tiling tables (Sec. 6, Fig. 7c).
+ *
+ * Each MCTS level decides the factor of one un-tiled loop; a leaf is a
+ * complete tiling table, evaluated with the analytical model (invalid
+ * mappings — OOM or over-subscribed PEs — feed back a penalty). UCB1
+ * guides the selection; rollouts complete the remaining knobs
+ * uniformly at random.
+ */
+
+#ifndef TILEFLOW_MAPPER_MCTS_HPP
+#define TILEFLOW_MAPPER_MCTS_HPP
+
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "common/rng.hpp"
+#include "mapper/encoding.hpp"
+
+namespace tileflow {
+
+/** One sampled mapping and its score. */
+struct MctsSample
+{
+    std::vector<int64_t> choices;
+    double cycles = 0.0;
+    bool valid = false;
+};
+
+/** Outcome of one tuning run. */
+struct MctsResult
+{
+    std::vector<int64_t> bestChoices;
+    double bestCycles = 0.0;
+    bool found = false;
+
+    /** Best-so-far cycles after each sample (Fig. 9a traces). */
+    std::vector<double> trace;
+};
+
+/** MCTS tuner for the factor knobs of a mapping space. */
+class MctsTuner
+{
+  public:
+    MctsTuner(const Evaluator& evaluator, const MappingSpace& space,
+              Rng& rng, double exploration = 1.2)
+        : evaluator_(&evaluator),
+          space_(&space),
+          rng_(&rng),
+          exploration_(exploration)
+    {
+    }
+
+    /**
+     * Tune the factor knobs while holding the structural knobs at the
+     * values in `base` (a full choice vector; its factor entries seed
+     * nothing — only structure is read).
+     *
+     * @param samples number of complete mappings to evaluate
+     */
+    MctsResult tune(const std::vector<int64_t>& base, int samples);
+
+  private:
+    const Evaluator* evaluator_;
+    const MappingSpace* space_;
+    Rng* rng_;
+    double exploration_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_MAPPER_MCTS_HPP

@@ -1,0 +1,67 @@
+#include "polyhedron/graph_model.hpp"
+
+#include "dataflows/builder_util.hpp"
+#include "polyhedron/timeloop_model.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** Flatten the generic single-op tile hierarchy into a PolyMapping. */
+PolyMapping
+genericMapping(const Workload& workload, const ArchSpec& spec, OpId op)
+{
+    PolyMapping mapping;
+    mapping.levels.assign(size_t(spec.numLevels()), {});
+    const std::unique_ptr<Node> subtree =
+        buildSingleOpSubtree(workload, spec, op, spec.dramLevel());
+    const Node* cursor = subtree.get();
+    while (cursor != nullptr) {
+        if (cursor->isTile()) {
+            for (const Loop& loop : cursor->loops()) {
+                mapping.levels[size_t(cursor->memLevel())].push_back(
+                    PolyLoop{loop.dim, loop.extent, loop.isSpatial()});
+            }
+        }
+        cursor = cursor->numChildren() > 0 ? cursor->child(0) : nullptr;
+    }
+    return mapping;
+}
+
+} // namespace
+
+GraphModelResult
+evaluateGraphModel(const Workload& workload, const ArchSpec& spec)
+{
+    GraphModelResult result;
+    const TimeloopModel model(workload, spec);
+
+    for (size_t i = 0; i < workload.numOps(); ++i) {
+        const PolyMapping mapping =
+            genericMapping(workload, spec, OpId(i));
+        const PolyResult per_op = model.evaluate(OpId(i), mapping);
+        result.layerwiseCycles += per_op.cycles;
+        result.energyPJ += per_op.energyPJ;
+    }
+
+    // Strip the DRAM round-trip (one write + one read) of every fused
+    // intermediate from the summed estimate — the graph-based recipe.
+    const MemLevel& dram = spec.level(spec.dramLevel());
+    const double bw = dram.bytesPerCycle(spec.frequencyGHz());
+    for (size_t t = 0; t < workload.tensors().size(); ++t) {
+        if (!workload.isIntermediate(TensorId(t)))
+            continue;
+        const double bytes =
+            double(workload.tensor(TensorId(t)).sizeBytes());
+        if (bw > 0.0)
+            result.strippedCycles += 2.0 * bytes / bw;
+        result.energyPJ -=
+            bytes * (dram.readEnergyPJ + dram.writeEnergyPJ);
+    }
+
+    result.cycles =
+        std::max(0.0, result.layerwiseCycles - result.strippedCycles);
+    return result;
+}
+
+} // namespace tileflow

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The graph-based multi-operator baseline (Sec. 2.3 / Fig. 8c).
+ *
+ * Graph-based approaches [67, 72] evaluate each operator separately on
+ * a polyhedron model and then strip the inter-operator DRAM transfers
+ * of fused intermediates from the summed results, using only the
+ * compute-graph topology. They ignore on-chip resource constraints and
+ * pipelining overlap, which is why the paper measures ~48.8% average
+ * error against the real accelerator where TileFlow's tree-based
+ * analysis gets ~5.4%.
+ */
+
+#ifndef TILEFLOW_POLYHEDRON_GRAPH_MODEL_HPP
+#define TILEFLOW_POLYHEDRON_GRAPH_MODEL_HPP
+
+#include "arch/arch.hpp"
+#include "ir/workload.hpp"
+
+namespace tileflow {
+
+/** Graph-based estimate for a fused workload. */
+struct GraphModelResult
+{
+    double cycles = 0.0;
+    double energyPJ = 0.0;
+
+    /** Per-op cycles before stripping. */
+    double layerwiseCycles = 0.0;
+
+    /** DRAM cycles stripped for fused intermediates. */
+    double strippedCycles = 0.0;
+};
+
+/**
+ * Evaluate the whole workload graph-style: sum per-op polyhedron
+ * estimates (each op mapped with a generic balanced mapping), then
+ * subtract the DRAM round-trip of every intermediate tensor.
+ */
+GraphModelResult evaluateGraphModel(const Workload& workload,
+                                    const ArchSpec& spec);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_POLYHEDRON_GRAPH_MODEL_HPP

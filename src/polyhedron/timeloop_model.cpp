@@ -1,0 +1,278 @@
+#include "polyhedron/timeloop_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/mapping.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** True if `dim` appears in the access projection of `access`. */
+bool
+dimRelevant(const TensorAccess& access, DimId dim)
+{
+    for (const auto& dim_expr : access.projection) {
+        for (const auto& term : dim_expr) {
+            if (term.dim == dim)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+PolyMapping::str(const Workload& workload) const
+{
+    std::ostringstream os;
+    for (int level = int(levels.size()) - 1; level >= 0; --level) {
+        os << "L" << level << ":";
+        for (const PolyLoop& loop : levels[size_t(level)]) {
+            os << " " << workload.dim(loop.dim).name
+               << (loop.spatial ? "s" : "") << loop.factor;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+PolyResult
+TimeloopModel::evaluate(OpId op_id, const PolyMapping& mapping) const
+{
+    const Operator& op = workload_->op(op_id);
+    const size_t num_dims = workload_->dims().size();
+    const int num_levels = spec_->numLevels();
+    if (int(mapping.levels.size()) != num_levels)
+        fatal("TimeloopModel: mapping has ", mapping.levels.size(),
+              " levels, architecture has ", num_levels);
+
+    PolyResult result;
+    result.trafficBytes.assign(size_t(num_levels), 0.0);
+
+    // Per-dim cumulative spans at or below each level.
+    std::vector<std::vector<int64_t>> span_below(
+        size_t(num_levels), std::vector<int64_t>(num_dims, 1));
+    for (int level = 0; level < num_levels; ++level) {
+        if (level > 0)
+            span_below[size_t(level)] = span_below[size_t(level - 1)];
+        for (const PolyLoop& loop : mapping.levels[size_t(level)])
+            span_below[size_t(level)][size_t(loop.dim)] *= loop.factor;
+    }
+
+    // MACs (padded by the mapping's coverage).
+    double macs = op.opsPerPoint();
+    for (DimId dim : op.dims())
+        macs *= double(span_below[size_t(num_levels - 1)][size_t(dim)]);
+    result.macs = macs;
+
+    // Spatial parallelism: the register-level array of one sub-core
+    // times the sub-core fanout used by upper-level spatial loops.
+    int64_t array_spatial = 1;
+    int64_t fanout_spatial = 1;
+    for (int level = 0; level < num_levels; ++level) {
+        for (const PolyLoop& loop : mapping.levels[size_t(level)]) {
+            if (!loop.spatial)
+                continue;
+            if (level == 0)
+                array_spatial *= loop.factor;
+            else
+                fanout_spatial *= loop.factor;
+        }
+    }
+    const int64_t per_subcore =
+        std::min<int64_t>(array_spatial,
+                          op.kind() == ComputeKind::Matrix
+                              ? spec_->pesPerSubCore()
+                              : spec_->vectorLanes());
+    const double throughput =
+        double(per_subcore) *
+        double(std::min<int64_t>(fanout_spatial,
+                                 spec_->totalSubCores()));
+    const double compute_cycles = macs / std::max(1.0, throughput);
+
+    const std::vector<int64_t> zero_base(num_dims, 0);
+    double worst_level_cycles = 0.0;
+    // MACs plus the per-op register-file operand traffic (two reads
+    // and one write per op), matching the tree model's convention.
+    double energy = macs * spec_->macEnergyPJ() +
+                    macs * 3.0 * double(spec_->wordBytes()) *
+                        spec_->level(0).readEnergyPJ;
+
+    for (int level = 0; level < num_levels; ++level) {
+        const MemLevel& mem = spec_->level(level);
+        double level_bytes = 0.0;
+
+        for (const auto& access : op.accesses()) {
+            const Tensor& tensor = workload_->tensor(access.tensor);
+
+            // Tile of this tensor held below level `level`.
+            const HyperRect tile = op.sliceOf(
+                access, zero_base, span_below[size_t(level)]);
+            const double tile_elems = double(tile.volume());
+
+            // Trips of relevant loops above this level. For written
+            // tensors, reduction loops count as relevant (each outer
+            // reduction iteration re-reads and re-writes the partial
+            // output tile). Links that land in the register level
+            // (level <= 1) get irrelevant-loop reuse only when the
+            // tile is small enough for the register file to retain —
+            // the same capacity-aware rule as the tree-based model.
+            const bool reg_destination =
+                level <= 1 &&
+                4 * int64_t(tile_elems) * dataTypeBytes(tensor.dtype) >
+                    spec_->level(0).capacityBytes;
+            double trips = 1.0;
+            for (int upper = level + 1; upper < num_levels; ++upper) {
+                for (const PolyLoop& loop :
+                     mapping.levels[size_t(upper)]) {
+                    const bool relevant =
+                        reg_destination ||
+                        dimRelevant(access, loop.dim) ||
+                        (access.isWrite && op.isReduction(loop.dim));
+                    if (relevant)
+                        trips *= double(loop.factor);
+                }
+            }
+
+            // Writes count once (the update side); partial-sum re-reads
+            // are covered by the reduction-relevance rule above, which
+            // matches the tree model's displacement accounting.
+            // A transfer reads at this level and writes at the
+            // next-inner destination (or the reverse for updates);
+            // both ends cost energy, as in Accelergy.
+            const double bytes =
+                trips * tile_elems * double(dataTypeBytes(tensor.dtype));
+            level_bytes += bytes;
+            energy += bytes * (access.isWrite ? mem.writeEnergyPJ
+                                              : mem.readEnergyPJ);
+            if (level > 0) {
+                const MemLevel& inner = spec_->level(level - 1);
+                energy += bytes * (access.isWrite ? inner.readEnergyPJ
+                                                  : inner.writeEnergyPJ);
+            }
+        }
+
+        result.trafficBytes[size_t(level)] = level_bytes;
+        const double bw = mem.bytesPerCycle(spec_->frequencyGHz());
+        if (bw > 0.0) {
+            worst_level_cycles =
+                std::max(worst_level_cycles, level_bytes / bw);
+        }
+    }
+
+    result.cycles = std::max(compute_cycles, worst_level_cycles);
+    result.energyPJ = energy;
+    return result;
+}
+
+std::vector<PolyMapping>
+enumerateMatmulMappings(const Workload& workload, const ArchSpec& spec,
+                        const std::vector<int64_t>& factor_set)
+{
+    const DimId di = workload.dimId("i");
+    const DimId dj = workload.dimId("j");
+    const DimId dk = workload.dimId("k");
+    const int64_t extent_i = workload.dim(di).extent;
+    const int64_t extent_j = workload.dim(dj).extent;
+    const int64_t extent_k = workload.dim(dk).extent;
+    const int num_levels = spec.numLevels();
+
+    // Three register-level spatial shapes on the matrix array.
+    struct SpatialShape
+    {
+        int64_t rows, cols;
+    };
+    const std::vector<SpatialShape> shapes = {
+        {spec.peRows(), spec.peCols()},
+        {spec.peRows(), std::max(1, spec.peCols() / 2)},
+        {std::max(1, spec.peRows() / 2), spec.peCols()},
+    };
+
+    // All six L1 loop orders of (i, j, k).
+    std::vector<std::vector<DimId>> orders = {
+        {di, dj, dk}, {di, dk, dj}, {dj, di, dk},
+        {dj, dk, di}, {dk, di, dj}, {dk, dj, di},
+    };
+
+    std::vector<PolyMapping> mappings;
+    for (const SpatialShape& shape : shapes) {
+        for (int64_t fi : factor_set) {
+            for (int64_t fj : factor_set) {
+                for (int64_t fk : factor_set) {
+                    for (const auto& order : orders) {
+                        PolyMapping m;
+                        m.levels.assign(size_t(num_levels), {});
+                        // L0: spatial array + a small k accumulation.
+                        m.levels[0].push_back(
+                            PolyLoop{di, shape.rows, true});
+                        m.levels[0].push_back(
+                            PolyLoop{dj, shape.cols, true});
+                        m.levels[0].push_back(PolyLoop{dk, 16, false});
+
+                        auto factor_of = [&](DimId d) {
+                            return d == di ? fi : d == dj ? fj : fk;
+                        };
+                        for (DimId d : order) {
+                            m.levels[1].push_back(
+                                PolyLoop{d, factor_of(d), false});
+                        }
+                        // Outermost level: cover the remainder.
+                        auto covered = [&](DimId d) {
+                            int64_t c = 1;
+                            for (int lvl = 0; lvl < num_levels - 1;
+                                 ++lvl) {
+                                for (const PolyLoop& loop :
+                                     m.levels[size_t(lvl)]) {
+                                    if (loop.dim == d)
+                                        c *= loop.factor;
+                                }
+                            }
+                            return c;
+                        };
+                        const int top = num_levels - 1;
+                        m.levels[size_t(top)].push_back(PolyLoop{
+                            di, ceilDiv(extent_i, covered(di)), false});
+                        m.levels[size_t(top)].push_back(PolyLoop{
+                            dj, ceilDiv(extent_j, covered(dj)), false});
+                        m.levels[size_t(top)].push_back(PolyLoop{
+                            dk, ceilDiv(extent_k, covered(dk)), false});
+                        mappings.push_back(std::move(m));
+                    }
+                }
+            }
+        }
+    }
+    return mappings;
+}
+
+AnalysisTree
+treeFromPolyMapping(const Workload& workload, OpId op,
+                    const PolyMapping& mapping)
+{
+    std::unique_ptr<Node> inner;
+    for (size_t level = 0; level < mapping.levels.size(); ++level) {
+        std::vector<Loop> loops;
+        for (const PolyLoop& loop : mapping.levels[level]) {
+            if (loop.factor > 1) {
+                loops.push_back(Loop{loop.dim, loop.factor,
+                                     loop.spatial ? LoopKind::Spatial
+                                                  : LoopKind::Temporal});
+            }
+        }
+        auto tile = Node::makeTile(int(level), std::move(loops));
+        if (inner)
+            tile->addChild(std::move(inner));
+        else
+            tile->addChild(Node::makeOp(op));
+        inner = std::move(tile);
+    }
+    AnalysisTree tree(workload);
+    tree.setRoot(std::move(inner));
+    return tree;
+}
+
+} // namespace tileflow

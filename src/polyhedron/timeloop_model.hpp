@@ -1,0 +1,102 @@
+/**
+ * @file
+ * An independent Timeloop-style polyhedron performance model for
+ * single operators (the paper's comparison baseline in Sec. 7.1).
+ *
+ * Unlike the tree-based analysis, this model never builds slices or
+ * residents: it uses the classic closed-form "relevant loop" counting —
+ * the tile of tensor Z at level n is the projection of all loop
+ * factors at levels <= n through Z's access function, and the traffic
+ * from level n into level n-1 is that tile's size times the product of
+ * the trip counts of Z-relevant loops above level n. Irrelevant loops
+ * grant temporal reuse. For output tensors, reduction loops count as
+ * relevant above the buffer where accumulation completes (partial sums
+ * are re-read and re-written).
+ *
+ * TileFlow's validation (Fig. 8a/8b) correlates the tree-based model
+ * against this one over an enumeration of matmul mappings.
+ */
+
+#ifndef TILEFLOW_POLYHEDRON_TIMELOOP_MODEL_HPP
+#define TILEFLOW_POLYHEDRON_TIMELOOP_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+#include "ir/workload.hpp"
+
+namespace tileflow {
+
+/** One loop of a polyhedron mapping. */
+struct PolyLoop
+{
+    DimId dim = -1;
+    int64_t factor = 1;
+    bool spatial = false;
+};
+
+/**
+ * A single-operator mapping: one loop list per memory level, index 0 =
+ * innermost (register) level, ordered outer-first within each level.
+ */
+struct PolyMapping
+{
+    std::vector<std::vector<PolyLoop>> levels;
+
+    std::string str(const Workload& workload) const;
+};
+
+/** Model output. */
+struct PolyResult
+{
+    double cycles = 0.0;
+    double energyPJ = 0.0;
+
+    /** Per level: bytes moved between this level and the next-inner
+     *  one (reads + updates). */
+    std::vector<double> trafficBytes;
+
+    double macs = 0.0;
+};
+
+/** The polyhedron-based single-operator model. */
+class TimeloopModel
+{
+  public:
+    TimeloopModel(const Workload& workload, const ArchSpec& spec)
+        : workload_(&workload), spec_(&spec)
+    {
+    }
+
+    /** Evaluate `op` under the mapping. */
+    PolyResult evaluate(OpId op, const PolyMapping& mapping) const;
+
+  private:
+    const Workload* workload_;
+    const ArchSpec* spec_;
+};
+
+/**
+ * Enumerate matmul mappings for the Fig. 8 validation study: choices
+ * of (i, j, k) temporal factors at L1 from a geometric set, loop-order
+ * permutations at L1, and three register-level spatial shapes. With
+ * the default arguments this yields exactly 4^3 * 6 * 3 = 1152
+ * mappings for a 256^3 matmul on the validation accelerator.
+ */
+std::vector<PolyMapping> enumerateMatmulMappings(
+    const Workload& workload, const ArchSpec& spec,
+    const std::vector<int64_t>& factor_set = {1, 2, 4, 16});
+
+/**
+ * Convert a single-operator polyhedron mapping into an analysis tree
+ * (nested tiles, one per level) so the same mapping can be evaluated
+ * by both models in the Fig. 8a/8b correlation study.
+ */
+AnalysisTree treeFromPolyMapping(const Workload& workload, OpId op,
+                                 const PolyMapping& mapping);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_POLYHEDRON_TIMELOOP_MODEL_HPP

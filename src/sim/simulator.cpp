@@ -1,0 +1,152 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** One outstanding DRAM request. */
+struct DramRequest
+{
+    double readyTime = 0.0;
+    int core = 0;
+    int task = 0;
+    bool isStore = false;
+    double bytes = 0.0;
+
+    bool operator>(const DramRequest& other) const
+    {
+        return readyTime > other.readyTime;
+    }
+};
+
+} // namespace
+
+SimResult
+AcceleratorSimulator::run(const SimTrace& trace) const
+{
+    SimResult result;
+    if (trace.coreTasks.empty())
+        return result;
+
+    const MemLevel& dram = spec_->level(spec_->dramLevel());
+    const double bw = dram.bytesPerCycle(spec_->frequencyGHz());
+    if (bw <= 0.0)
+        fatal("AcceleratorSimulator: DRAM bandwidth must be positive");
+
+    // Retention model: scale the *non-compulsory* fraction of the
+    // analytical DRAM traffic by how much of the buffer the staged
+    // working set occupies (small tiles are retained across outer
+    // iterations by the real buffer).
+    const double capacity =
+        spec_->numLevels() >= 2 ? double(spec_->level(1).capacityBytes)
+                                : 0.0;
+    double retention = 1.0;
+    if (capacity > 0.0 && trace.stagedBytesPerCore > 0.0) {
+        retention = std::clamp(
+            2.0 * trace.stagedBytesPerCore / capacity, 0.30, 1.0);
+    }
+    const double excess = std::max(
+        0.0, trace.analyticDramBytes - trace.compulsoryBytes);
+    result.dramBytes = trace.compulsoryBytes + excess * retention;
+    const double traffic_scale =
+        trace.analyticDramBytes > 0.0
+            ? result.dramBytes / trace.analyticDramBytes
+            : 1.0;
+
+    const size_t num_cores = trace.coreTasks.size();
+    std::vector<size_t> num_tasks(num_cores);
+    for (size_t c = 0; c < num_cores; ++c)
+        num_tasks[c] = trace.coreTasks[c].size();
+
+    // Per-core progress.
+    std::vector<std::vector<double>> load_done(num_cores);
+    std::vector<double> compute_done(num_cores, 0.0);
+    std::vector<double> final_time(num_cores, 0.0);
+
+    // Event loop over DRAM requests ordered by readiness; the DRAM is
+    // a FIFO server.
+    std::priority_queue<DramRequest, std::vector<DramRequest>,
+                        std::greater<DramRequest>>
+        pending;
+    for (size_t c = 0; c < num_cores; ++c) {
+        load_done[c].assign(num_tasks[c], 0.0);
+        if (num_tasks[c] > 0) {
+            pending.push(DramRequest{
+                0.0, int(c), 0, false,
+                trace.coreTasks[c][0].loadBytes * traffic_scale});
+        }
+    }
+
+    // DRAM requests are served in 64B bursts with a fixed issue
+    // latency; each task also pays a small instruction-dispatch
+    // overhead. These are the second-order effects an analytical
+    // model abstracts away.
+    constexpr double kBurstBytes = 64.0;
+    constexpr double kDramLatency = 24.0;
+    constexpr double kTaskOverhead = 16.0;
+
+    double dram_free = 0.0;
+    while (!pending.empty()) {
+        DramRequest req = pending.top();
+        pending.pop();
+        const double burst_bytes =
+            kBurstBytes * std::ceil(req.bytes / kBurstBytes);
+        const double start = std::max(req.readyTime, dram_free);
+        const double done = start + kDramLatency + burst_bytes / bw;
+        dram_free = start + burst_bytes / bw;
+
+        const size_t c = size_t(req.core);
+        const auto& tasks = trace.coreTasks[c];
+        if (req.isStore) {
+            final_time[c] = std::max(final_time[c], done);
+            continue;
+        }
+
+        load_done[c][size_t(req.task)] = done;
+
+        // The compute for this task starts once its load is done and
+        // the previous task's compute retired.
+        const double compute_start = std::max(done, compute_done[c]);
+        const double compute_end = compute_start + kTaskOverhead +
+                                   tasks[size_t(req.task)].computeCycles;
+        compute_done[c] = compute_end;
+        final_time[c] = std::max(final_time[c], compute_end);
+
+        // Double buffering: the next load may issue as soon as this
+        // task's compute begins (its buffer half is free then).
+        const size_t next = size_t(req.task) + 1;
+        if (next < tasks.size()) {
+            pending.push(DramRequest{compute_start, req.core, int(next),
+                                     false,
+                                     tasks[next].loadBytes *
+                                         traffic_scale});
+        }
+
+        // Store issues when the compute retires.
+        if (tasks[size_t(req.task)].storeBytes > 0.0) {
+            pending.push(DramRequest{compute_end, req.core, req.task,
+                                     true,
+                                     tasks[size_t(req.task)].storeBytes *
+                                         traffic_scale});
+        }
+    }
+
+    for (size_t c = 0; c < num_cores; ++c)
+        result.cycles = std::max(result.cycles, final_time[c]);
+
+    // Energy: the analytical estimate minus the DRAM traffic the real
+    // buffers retained.
+    const double saved_bytes = trace.analyticDramBytes - result.dramBytes;
+    result.energyPJ = trace.analyticEnergyPJ -
+                      saved_bytes * (dram.readEnergyPJ + dram.writeEnergyPJ) * 0.5;
+    return result;
+}
+
+} // namespace tileflow

@@ -1,0 +1,61 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+SimTrace
+generateTrace(const AnalysisTree& tree, const ArchSpec& spec,
+              const EvalResult& result)
+{
+    SimTrace trace;
+    if (!tree.hasRoot() || !result.valid)
+        return trace;
+
+    const Node* root = tree.root();
+    const int64_t steps = std::max<int64_t>(1, root->temporalSteps());
+    const int64_t cores = std::min<int64_t>(
+        std::max<int64_t>(1, root->spatialExtent()),
+        spec.level(spec.dramLevel()).fanout);
+
+    const auto it = result.dm.perNode.find(root);
+    const double total_load =
+        it != result.dm.perNode.end() ? it->second.loadBytes : 0.0;
+    const double total_store =
+        it != result.dm.perNode.end() ? it->second.storeBytes : 0.0;
+
+    // Compute time of one step of one core: the root's compute-bound
+    // cycles spread over its steps (latencies are per spatial instance
+    // by construction).
+    const double compute_per_step =
+        result.latency.computeCycles / double(steps);
+
+    SimTask task;
+    task.loadBytes = total_load / double(steps * cores);
+    task.storeBytes = total_store / double(steps * cores);
+    task.computeCycles = compute_per_step;
+
+    trace.coreTasks.assign(size_t(cores), std::vector<SimTask>(
+                                              size_t(steps), task));
+
+    // Compulsory DRAM traffic: every input read once, every terminal
+    // output written once.
+    const Workload& workload = tree.workload();
+    for (TensorId t : workload.inputTensors())
+        trace.compulsoryBytes += double(workload.tensor(t).sizeBytes());
+    for (TensorId t : workload.outputTensors())
+        trace.compulsoryBytes += double(workload.tensor(t).sizeBytes());
+
+    trace.analyticDramBytes = result.dm.levels.back().total();
+    trace.analyticEnergyPJ = result.energyPJ;
+    if (!result.resources.footprintBytes.empty() &&
+        spec.numLevels() >= 2) {
+        trace.stagedBytesPerCore =
+            double(result.resources.footprintBytes[1]);
+    }
+    return trace;
+}
+
+} // namespace tileflow

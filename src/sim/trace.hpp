@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Task traces for the cycle-level simulator.
+ *
+ * A mapping is lowered to one task queue per core; each task is one
+ * outer (DRAM-level) step of the mapping: load its inputs from DRAM,
+ * compute, store its outputs. The simulator then executes the queues
+ * against shared DRAM bandwidth with double buffering, producing the
+ * "real accelerator" cycle counts used by the Fig. 8c/8d validation.
+ */
+
+#ifndef TILEFLOW_SIM_TRACE_HPP
+#define TILEFLOW_SIM_TRACE_HPP
+
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** One DRAM-level step executed by one core. */
+struct SimTask
+{
+    double loadBytes = 0.0;
+    double computeCycles = 0.0;
+    double storeBytes = 0.0;
+};
+
+/** A complete lowered mapping. */
+struct SimTrace
+{
+    /** Task queues, one per active core. */
+    std::vector<std::vector<SimTask>> coreTasks;
+
+    /** Bytes that must move from DRAM at least once (compulsory). */
+    double compulsoryBytes = 0.0;
+
+    /** Analytical totals carried along for the energy correction. */
+    double analyticDramBytes = 0.0;
+    double analyticEnergyPJ = 0.0;
+
+    /** Per-core staged working set (drives the retention model). */
+    double stagedBytesPerCore = 0.0;
+};
+
+/**
+ * Lower an evaluated mapping to a task trace. `result` must be a
+ * valid Evaluator output for `tree`.
+ */
+SimTrace generateTrace(const AnalysisTree& tree, const ArchSpec& spec,
+                       const EvalResult& result);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_SIM_TRACE_HPP

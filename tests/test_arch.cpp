@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Architecture spec and energy-table tests, including the Table 4
+ * presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_table.hpp"
+#include "arch/presets.hpp"
+#include "common/logging.hpp"
+
+namespace tileflow {
+namespace {
+
+TEST(Arch, EdgeHierarchy)
+{
+    const ArchSpec edge = makeEdgeArch();
+    EXPECT_EQ(edge.numLevels(), 3);
+    EXPECT_EQ(edge.dramLevel(), 2);
+    EXPECT_EQ(edge.level(2).fanout, 4); // 4 cores
+    EXPECT_EQ(edge.totalSubCores(), 4);
+    EXPECT_EQ(edge.pesPerSubCore(), 32 * 32);
+    EXPECT_EQ(edge.totalPEs(), 4 * 1024);
+    EXPECT_EQ(edge.level(1).capacityBytes, 4 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(edge.level(2).bandwidthGBps, 60.0);
+}
+
+TEST(Arch, CloudHierarchy)
+{
+    const ArchSpec cloud = makeCloudArch();
+    EXPECT_EQ(cloud.numLevels(), 4);
+    EXPECT_EQ(cloud.level(3).fanout, 4);  // cores
+    EXPECT_EQ(cloud.level(2).fanout, 16); // sub-cores per core
+    EXPECT_EQ(cloud.totalSubCores(), 64);
+    EXPECT_EQ(cloud.totalPEs(), 64 * 1024); // 256x256 total
+    // Per-core 40MB L2, per-sub-core share of the 20MB L1.
+    EXPECT_EQ(cloud.level(2).capacityBytes, 40 * 1024 * 1024);
+    EXPECT_EQ(cloud.level(1).capacityBytes, 20 * 1024 * 1024 / 16);
+}
+
+TEST(Arch, InstanceCountsDerivedFromFanouts)
+{
+    const ArchSpec cloud = makeCloudArch();
+    EXPECT_EQ(cloud.level(3).instances, 1);  // DRAM
+    EXPECT_EQ(cloud.level(2).instances, 4);  // one L2 per core
+    EXPECT_EQ(cloud.level(1).instances, 64); // one L1 per sub-core
+    EXPECT_EQ(cloud.level(0).instances, 64);
+}
+
+TEST(Arch, ValidationAcceleratorMatchesSection71)
+{
+    const ArchSpec spec = makeValidationArch();
+    EXPECT_DOUBLE_EQ(spec.frequencyGHz(), 0.4);
+    EXPECT_EQ(spec.peRows(), 16);
+    EXPECT_EQ(spec.level(1).capacityBytes, 384 * 1024);
+    EXPECT_DOUBLE_EQ(spec.level(2).bandwidthGBps, 25.6);
+    EXPECT_EQ(spec.wordBytes(), 2);
+    // 25.6 GB/s at 400MHz = 64 bytes per cycle.
+    EXPECT_DOUBLE_EQ(spec.level(2).bytesPerCycle(spec.frequencyGHz()),
+                     64.0);
+}
+
+TEST(Arch, FanoutAtAccumulates)
+{
+    const ArchSpec cloud = makeCloudArch();
+    EXPECT_EQ(cloud.fanoutAt(0), 1);
+    EXPECT_EQ(cloud.fanoutAt(2), 16);
+    EXPECT_EQ(cloud.fanoutAt(3), 64);
+}
+
+TEST(Arch, PeSweepPreservesStructure)
+{
+    const ArchSpec small = makeEdgeArchWithPEs(8);
+    EXPECT_EQ(small.totalPEs(), 64); // 8x8 over 4 cores
+    const ArchSpec big = makeEdgeArchWithPEs(256);
+    EXPECT_EQ(big.totalPEs(), 256 * 256);
+    EXPECT_EQ(big.level(2).fanout, 4);
+}
+
+TEST(Arch, WithL1BandwidthOverrides)
+{
+    const ArchSpec spec = withL1Bandwidth(makeEdgeArch(), 123.0);
+    EXPECT_DOUBLE_EQ(spec.level(1).bandwidthGBps, 123.0);
+}
+
+TEST(Arch, WithoutMemoryLimitsClearsCapacities)
+{
+    const ArchSpec spec = withoutMemoryLimits(makeCloudArch());
+    for (int i = 0; i < spec.numLevels(); ++i)
+        EXPECT_EQ(spec.level(i).capacityBytes, 0);
+}
+
+TEST(Arch, LevelIndexOutOfRangeFatal)
+{
+    const ArchSpec edge = makeEdgeArch();
+    EXPECT_THROW(edge.level(7), FatalError);
+    EXPECT_THROW(edge.level(-1), FatalError);
+}
+
+TEST(EnergyTable, SramEnergyGrowsWithCapacity)
+{
+    EnergyTable table;
+    const double small = table.sramPJPerByte(64 * 1024);
+    const double big = table.sramPJPerByte(4 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(small, table.sramBasePJPerByte);
+    EXPECT_GT(big, small);
+    // sqrt scaling: 64x capacity -> 8x energy.
+    EXPECT_NEAR(big / small, 8.0, 1e-9);
+}
+
+TEST(EnergyTable, AppliedOrdering)
+{
+    ArchSpec edge = makeEdgeArch();
+    // Registers cheapest, DRAM most expensive, SRAM in between.
+    EXPECT_LT(edge.level(0).readEnergyPJ, edge.level(1).readEnergyPJ);
+    EXPECT_LT(edge.level(1).readEnergyPJ, edge.level(2).readEnergyPJ);
+    // Writes cost slightly more than reads for SRAM/DRAM.
+    EXPECT_GT(edge.level(1).writeEnergyPJ, edge.level(1).readEnergyPJ);
+}
+
+TEST(EnergyTable, BiggerL1CostsMorePerAccess)
+{
+    const ArchSpec small = makeEdgeArch(200 * 1024);
+    const ArchSpec big = makeEdgeArch(1024 * 1024);
+    EXPECT_GT(big.level(1).readEnergyPJ, small.level(1).readEnergyPJ);
+}
+
+} // namespace
+} // namespace tileflow

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for common support: strings, logging and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace tileflow {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("\t x\n"), "x");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, TrimHandlesEmptyAndAllSpace)
+{
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitOnDelimiter)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, JoinRoundTripsSplit)
+{
+    EXPECT_EQ(join({"x", "y", "z"}, "/"), "x/y/z");
+    EXPECT_EQ(join({}, "/"), "");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("warn: foo", "warn:"));
+    EXPECT_FALSE(startsWith("foo", "warn:"));
+    EXPECT_FALSE(startsWith("wa", "warn:"));
+}
+
+TEST(Strings, HumanCountScales)
+{
+    EXPECT_EQ(humanCount(1536.0), "1.54K");
+    EXPECT_EQ(humanCount(2.0e6), "2.00M");
+    EXPECT_EQ(humanCount(3.0e9), "3.00G");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    try {
+        fatal("value=", 7);
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(concat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+TEST(Rng, DeterministicWithSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int differ = 0;
+    for (int i = 0; i < 32; ++i)
+        differ += a.uniformInt(0, 1 << 20) != b.uniformInt(0, 1 << 20);
+    EXPECT_GT(differ, 0);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(5, 9);
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformRealInHalfOpenUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChoicePicksContainedElement)
+{
+    Rng rng(11);
+    const std::vector<int> v{3, 5, 7};
+    for (int i = 0; i < 50; ++i) {
+        const int c = rng.choice(v);
+        EXPECT_TRUE(c == 3 || c == 5 || c == 7);
+    }
+}
+
+} // namespace
+} // namespace tileflow

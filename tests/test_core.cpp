@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Core tests: tree nodes, path/span queries, tiling tables, and tree
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/mapping.hpp"
+#include "core/notation.hpp"
+#include "core/validate.hpp"
+#include "arch/presets.hpp"
+#include "ir/builders.hpp"
+
+namespace tileflow {
+namespace {
+
+AnalysisTree
+simpleTree(const Workload& w)
+{
+    return parseNotation(w, R"(
+        tile @L2 [i:s4, i:t4, j:t4, k:t4] {
+          tile @L1 [i:t1, j:t4, k:t4] {
+            tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+          }
+        }
+    )");
+}
+
+TEST(Node, FactoriesAndKinds)
+{
+    auto tile = Node::makeTile(1, {Loop{0, 4, LoopKind::Temporal}});
+    auto scope = Node::makeScope(ScopeKind::Pipe);
+    auto op = Node::makeOp(0);
+    EXPECT_TRUE(tile->isTile());
+    EXPECT_TRUE(scope->isScope());
+    EXPECT_TRUE(op->isOp());
+    EXPECT_EQ(scope->scopeKind(), ScopeKind::Pipe);
+    EXPECT_THROW(op->addChild(Node::makeOp(1)), FatalError);
+}
+
+TEST(Node, StepAndSpatialProducts)
+{
+    auto tile = Node::makeTile(1, {Loop{0, 4, LoopKind::Temporal},
+                                   Loop{1, 3, LoopKind::Spatial},
+                                   Loop{2, 5, LoopKind::Temporal}});
+    EXPECT_EQ(tile->temporalSteps(), 20);
+    EXPECT_EQ(tile->spatialExtent(), 3);
+    EXPECT_EQ(tile->loopExtent(0, LoopKind::Temporal), 4);
+    EXPECT_EQ(tile->loopExtent(0, LoopKind::Spatial), 1);
+}
+
+TEST(Node, OpLeavesInExecutionOrder)
+{
+    const Workload w = buildMatmulExp("me", 64, 64, 64);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L2 [i:t4, j:t4] {
+          shar {
+            tile @L0 [i:s16, j:s16, k:t64] { op matmul }
+            tile @L0 [i:s16, j:t16]        { op exp }
+          }
+        }
+    )");
+    const auto leaves = tree.root()->opLeaves();
+    ASSERT_EQ(leaves.size(), 2u);
+    EXPECT_EQ(leaves[0]->op(), w.opId("matmul"));
+    EXPECT_EQ(leaves[1]->op(), w.opId("exp"));
+    EXPECT_EQ(tree.root()->opsBelow().size(), 2u);
+}
+
+TEST(Node, CloneIsDeepAndEqualShaped)
+{
+    const Workload w = buildMatmul("mm", 256, 256, 256);
+    const AnalysisTree tree = simpleTree(w);
+    const AnalysisTree copy = tree.clone();
+    EXPECT_NE(tree.root(), copy.root());
+    EXPECT_EQ(printNotation(tree), printNotation(copy));
+}
+
+TEST(Tree, PathSpanMultipliesAcrossLevels)
+{
+    const Workload w = buildMatmul("mm", 256, 256, 256);
+    const AnalysisTree tree = simpleTree(w);
+    const Node* leaf = tree.root()->opLeaves()[0];
+    EXPECT_EQ(pathSpan(tree.root(), leaf, w.dimId("i")), 4 * 4 * 16);
+    EXPECT_EQ(pathSpan(tree.root(), leaf, w.dimId("k")), 4 * 4 * 16);
+    const Node* l1 = tree.root()->child(0);
+    EXPECT_EQ(pathSpan(l1, leaf, w.dimId("j")), 4 * 16);
+}
+
+TEST(Tree, ExecutionCountMultipliesAncestors)
+{
+    const Workload w = buildMatmul("mm", 256, 256, 256);
+    const AnalysisTree tree = simpleTree(w);
+    const Node* l1 = tree.root()->child(0);
+    const Node* l0 = l1->child(0);
+    EXPECT_EQ(executionCount(tree.root()), 1);
+    EXPECT_EQ(executionCount(l1), 4 * 64);     // root steps x spatial
+    EXPECT_EQ(executionCount(l0), 4 * 64 * 16); // plus L1 steps
+}
+
+TEST(Tree, EnclosingTileAndAncestry)
+{
+    const Workload w = buildMatmul("mm", 256, 256, 256);
+    const AnalysisTree tree = simpleTree(w);
+    const Node* leaf = tree.root()->opLeaves()[0];
+    const Node* l0 = enclosingTile(leaf);
+    ASSERT_NE(l0, nullptr);
+    EXPECT_EQ(l0->memLevel(), 0);
+    EXPECT_TRUE(isAncestorOf(tree.root(), leaf));
+    EXPECT_FALSE(isAncestorOf(leaf, tree.root()));
+}
+
+TEST(Mapping, CeilDivAndDivisors)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 1), 1);
+    const auto d12 = divisors(12);
+    EXPECT_EQ(d12, (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+}
+
+TEST(Mapping, SplitBalancedCoversExtent)
+{
+    for (int64_t extent : {7, 12, 64, 196, 512, 1000}) {
+        for (int parts : {1, 2, 3, 4}) {
+            const auto factors = splitBalanced(extent, parts);
+            ASSERT_EQ(int(factors.size()), parts);
+            int64_t product = 1;
+            for (int64_t f : factors) {
+                EXPECT_GE(f, 1);
+                product *= f;
+            }
+            EXPECT_GE(product, extent);
+            // Padding stays bounded.
+            EXPECT_LE(product, 2 * extent * parts);
+        }
+    }
+}
+
+TEST(Mapping, TilingTableBasics)
+{
+    const Workload w = buildMatmul("mm", 64, 64, 64);
+    TilingTable table(w.dims().size(), 3);
+    table.set(w.dimId("i"), 2, 4);
+    table.set(w.dimId("i"), 0, 16);
+    EXPECT_EQ(table.get(w.dimId("i"), 2), 4);
+    EXPECT_EQ(table.get(w.dimId("i"), 1), 1);
+    EXPECT_EQ(table.product(w.dimId("i")), 64);
+    EXPECT_THROW(table.set(w.dimId("i"), 9, 2), FatalError);
+    EXPECT_THROW(table.set(w.dimId("i"), 0, 0), FatalError);
+}
+
+TEST(Mapping, NormalizeCoversAllDims)
+{
+    const Workload w = buildMatmul("mm", 60, 64, 100);
+    TilingTable table(w.dims().size(), 3);
+    table.set(w.dimId("i"), 0, 16);
+    table.normalize(w);
+    for (const auto& dim : {std::string("i"), std::string("j"),
+                            std::string("k")}) {
+        EXPECT_GE(table.product(w.dimId(dim)),
+                  w.dim(w.dimId(dim)).extent);
+    }
+}
+
+TEST(Mapping, ResidualComputesRemainingTrips)
+{
+    const Workload w = buildMatmul("mm", 64, 64, 64);
+    TilingTable table(w.dims().size(), 3);
+    table.set(w.dimId("i"), 0, 16);
+    table.set(w.dimId("i"), 1, 2);
+    EXPECT_EQ(table.residual(w, w.dimId("i"), 2), 2);
+}
+
+TEST(Validate, AcceptsWellFormedTree)
+{
+    const Workload w = buildMatmul("mm", 256, 256, 256);
+    const AnalysisTree tree = simpleTree(w);
+    EXPECT_TRUE(validateTree(tree).empty());
+    EXPECT_NO_THROW(checkTree(tree));
+}
+
+TEST(Validate, RejectsUndercoveredDim)
+{
+    const Workload w = buildMatmul("mm", 256, 256, 256);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L2 [i:t4, j:t16, k:t16] {
+          tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+        }
+    )");
+    const auto problems = validateTree(tree);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("covered"), std::string::npos);
+    EXPECT_THROW(checkTree(tree), FatalError);
+}
+
+TEST(Validate, RejectsOpAboveLevelZero)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    AnalysisTree tree(w);
+    auto root = Node::makeTile(2, {Loop{w.dimId("i"), 16, LoopKind::Temporal},
+                                   Loop{w.dimId("j"), 16, LoopKind::Temporal},
+                                   Loop{w.dimId("k"), 16, LoopKind::Temporal}});
+    root->addChild(Node::makeOp(0));
+    tree.setRoot(std::move(root));
+    const auto problems = validateTree(tree);
+    ASSERT_FALSE(problems.empty());
+}
+
+TEST(Validate, RejectsLevelInversion)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L1 [] {
+          tile @L2 [i:t1] {
+            tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+          }
+        }
+    )");
+    const auto problems = validateTree(tree);
+    ASSERT_FALSE(problems.empty());
+}
+
+TEST(Validate, RejectsDuplicateOp)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L2 [] {
+          seq {
+            tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+            tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+          }
+        }
+    )");
+    const auto problems = validateTree(tree);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("appears"), std::string::npos);
+}
+
+TEST(Validate, WarnsOnProducerReductionInFusingAncestor)
+{
+    const Workload w = buildMatmulExp("me", 64, 64, 64);
+    // k (matmul's reduction) iterated by a tile fusing both ops: exp
+    // would consume partial sums -> advisory warning.
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L2 [i:t4, j:t4, k:t4] {
+          shar {
+            tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+            tile @L0 [i:s16, j:t16]        { op exp }
+          }
+        }
+    )");
+    bool warned = false;
+    for (const auto& problem : validateTree(tree))
+        warned = warned || problem.find("warn:") == 0;
+    EXPECT_TRUE(warned);
+    EXPECT_NO_THROW(checkTree(tree)); // warnings are not fatal
+}
+
+TEST(Validate, RejectsSingleChildScope)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L2 [] {
+          pipe {
+            tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+          }
+        }
+    )");
+    EXPECT_FALSE(validateTree(tree).empty());
+}
+
+TEST(Validate, ArchBoundsLevelIndices)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    const ArchSpec spec = makeValidationArch();
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L7 [] {
+          tile @L0 [i:s16, j:s16, k:t16] { op matmul }
+        }
+    )");
+    EXPECT_FALSE(validateTree(tree, &spec).empty());
+}
+
+} // namespace
+} // namespace tileflow

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Mapper tests: encodings, MCTS tiling search, the GA, and the
+ * end-to-end exploration (the mapper must rediscover the TileFlow
+ * dataflow — the paper's central result).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/shapes.hpp"
+#include "mapper/mapper.hpp"
+
+namespace tileflow {
+namespace {
+
+TEST(Encoding, FactorMenuIsGeometricAndCovers)
+{
+    const auto menu = factorMenu(512);
+    EXPECT_EQ(menu.front(), 1);
+    EXPECT_EQ(menu.back(), 512);
+    for (size_t i = 1; i + 1 < menu.size(); ++i)
+        EXPECT_EQ(menu[i], 2 * menu[i - 1]);
+    // Non-power-of-two extents keep the exact extent as last choice.
+    const auto menu196 = factorMenu(196);
+    EXPECT_EQ(menu196.back(), 196);
+}
+
+TEST(Encoding, AttentionSpaceStructure)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const MappingSpace space = makeAttentionSpace(w, edge);
+    EXPECT_EQ(space.structuralKnobs().size(), 3u);
+    EXPECT_EQ(space.factorKnobs().size(), 4u);
+    EXPECT_EQ(space.structuralSpaceSize(), 8);
+    EXPECT_GT(space.factorSpaceSize(), 100);
+    // Default choices build an evaluable tree.
+    const AnalysisTree tree = space.build(space.defaultChoices());
+    EXPECT_TRUE(tree.hasRoot());
+}
+
+TEST(Encoding, ConvSpaceStructure)
+{
+    const Workload w = buildConvChain(convChainShape("CC3"));
+    const ArchSpec cloud = makeCloudArch();
+    const MappingSpace space = makeConvChainSpace(w, cloud);
+    EXPECT_EQ(space.structuralKnobs().size(), 2u);
+    EXPECT_EQ(space.factorKnobs().size(), 3u);
+    const AnalysisTree tree = space.build(space.defaultChoices());
+    EXPECT_TRUE(tree.hasRoot());
+}
+
+TEST(Mcts, FindsValidMappingAndImproves)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+    Rng rng(42);
+    MctsTuner tuner(model, space, rng);
+    const MctsResult r = tuner.tune(space.defaultChoices(), 150);
+    ASSERT_TRUE(r.found);
+    EXPECT_GT(r.bestCycles, 0.0);
+    // Trace is monotone non-increasing.
+    for (size_t i = 1; i < r.trace.size(); ++i)
+        EXPECT_LE(r.trace[i], r.trace[i - 1]);
+    // The best found must beat the worst sampled one (search works).
+    EXPECT_LE(r.bestCycles, r.trace.front());
+}
+
+TEST(Mcts, DeterministicForFixedSeed)
+{
+    const Workload w = buildAttention(attentionShape("ViT/16-B"),
+                                      false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+    Rng rng1(7), rng2(7);
+    const MctsResult a = MctsTuner(model, space, rng1)
+                             .tune(space.defaultChoices(), 60);
+    const MctsResult b = MctsTuner(model, space, rng2)
+                             .tune(space.defaultChoices(), 60);
+    EXPECT_EQ(a.bestChoices, b.bestChoices);
+    EXPECT_DOUBLE_EQ(a.bestCycles, b.bestCycles);
+}
+
+TEST(Genetic, ExploresStructureAndConverges)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionSpace(w, edge);
+    GeneticConfig cfg;
+    cfg.generations = 5;
+    cfg.populationSize = 6;
+    cfg.mctsSamplesPerIndividual = 20;
+    GeneticMapper ga(model, space, cfg);
+    const GeneticResult r = ga.run();
+    ASSERT_TRUE(r.best.valid);
+    EXPECT_EQ(r.trace.size(), 5u);
+    for (size_t i = 1; i < r.trace.size(); ++i)
+        EXPECT_LE(r.trace[i], r.trace[i - 1]);
+}
+
+TEST(Mapper, RediscoversTileFlowDataflow)
+{
+    // The headline claim: exploring the 3D space finds a dataflow at
+    // least as good as every canned reference (and in particular the
+    // TileFlow dataflow, which the canned TileFlowDF represents).
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionSpace(w, edge);
+    MapperConfig cfg;
+    cfg.rounds = 8;
+    cfg.population = 8;
+    cfg.tilingSamples = 30;
+    const MapperResult r = exploreSpace(model, space, cfg);
+    ASSERT_TRUE(r.found);
+    for (AttentionDataflow df : mainAttentionDataflows()) {
+        const EvalResult ref =
+            model.evaluate(buildAttentionDataflow(w, edge, df));
+        if (ref.valid) {
+            EXPECT_LE(r.bestCycles, ref.cycles * 1.001)
+                << attentionDataflowName(df);
+        }
+    }
+}
+
+TEST(Mapper, TilingOnlyExplorationMatchesFullSpaceOrBetter)
+{
+    const Workload w = buildAttention(attentionShape("ViT/14-B"),
+                                      false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace tiling = makeAttentionTilingSpace(w, edge);
+    const MapperResult r = exploreTiling(model, tiling, 200);
+    ASSERT_TRUE(r.found);
+    // The tiling space fixes the TileFlow structure; the result must
+    // beat plain FLAT-HGran.
+    const EvalResult flat = model.evaluate(buildAttentionDataflow(
+        w, edge, AttentionDataflow::FlatHGran));
+    EXPECT_LE(r.bestCycles, flat.cycles * 1.001);
+}
+
+TEST(Mapper, InvalidStructuresPenalizedNotFatal)
+{
+    // Force a space where many structural choices are invalid (tiny
+    // architecture); the mapper must still terminate with something.
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    ArchSpec tiny = makeEdgeArch(64 * 1024); // 64KB L1
+    const Evaluator model(w, tiny);
+    const MappingSpace space = makeAttentionSpace(w, tiny);
+    MapperConfig cfg;
+    cfg.rounds = 3;
+    cfg.population = 4;
+    cfg.tilingSamples = 15;
+    EXPECT_NO_THROW({
+        const MapperResult r = exploreSpace(model, space, cfg);
+        (void)r;
+    });
+}
+
+} // namespace
+} // namespace tileflow

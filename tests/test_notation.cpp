@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tile-centric notation parser/printer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/notation.hpp"
+#include "ir/builders.hpp"
+#include "ir/shapes.hpp"
+
+namespace tileflow {
+namespace {
+
+TEST(Notation, ParsesTileWithLoops)
+{
+    const Workload w = buildMatmul("mm", 64, 64, 64);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L1 [i:t4, j:s2] {
+          tile @L0 [i:s16, j:s16, k:t64] { op matmul }
+        }
+    )");
+    const Node* root = tree.root();
+    ASSERT_TRUE(root->isTile());
+    EXPECT_EQ(root->memLevel(), 1);
+    ASSERT_EQ(root->loops().size(), 2u);
+    EXPECT_EQ(root->loops()[0].dim, w.dimId("i"));
+    EXPECT_EQ(root->loops()[0].extent, 4);
+    EXPECT_TRUE(root->loops()[0].isTemporal());
+    EXPECT_TRUE(root->loops()[1].isSpatial());
+}
+
+TEST(Notation, ParsesAllScopeKinds)
+{
+    const Workload w = buildMatmulExp("me", 64, 64, 64);
+    for (const char* kind : {"seq", "shar", "para", "pipe"}) {
+        const std::string text = std::string("tile @L1 [i:t4] { ") +
+                                 kind +
+                                 R"( {
+              tile @L0 [i:s16, j:t64, k:t64] { op matmul }
+              tile @L0 [i:s16, j:t64]        { op exp }
+            } })";
+        const AnalysisTree tree = parseNotation(w, text);
+        ASSERT_EQ(tree.root()->numChildren(), 1u);
+        EXPECT_EQ(tree.root()->child(0)->scopeKind(),
+                  parseScopeKind(kind));
+    }
+}
+
+TEST(Notation, CommentsAndWhitespaceIgnored)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    const AnalysisTree tree = parseNotation(w, R"(
+        # the whole mapping fits in one register tile
+        tile @L0 [i:s16,   # rows
+                  j:s16,   # cols
+                  k:t16] { op matmul }
+    )");
+    EXPECT_EQ(tree.root()->loops().size(), 3u);
+}
+
+TEST(Notation, EmptyLoopListAllowed)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L1 [] { tile @L0 [i:s16, j:s16, k:t16] { op matmul } }
+    )");
+    EXPECT_TRUE(tree.root()->loops().empty());
+}
+
+TEST(Notation, RoundTripIsStable)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), true);
+    const AnalysisTree tree = parseNotation(w, R"(
+        tile @L2 [h:s4, h:t2, m:t8, l:t8] {
+          tile @L1 [m:t2, l:t2] {
+            pipe {
+              tile @L0 [m:s32, l:s16, k:t64] { op QK }
+              shar {
+                tile @L0 [m:s32, l:t16] { op max }
+                tile @L0 [m:s32, l:t16] { op sub }
+                tile @L0 [m:s32, l:t16] { op exp }
+                tile @L0 [m:s32, l:t16] { op sum }
+                tile @L0 [m:s32, l:t16] { op div }
+              }
+              tile @L0 [m:s32, n:s16, n:t4, l:t16] { op LV }
+            }
+          }
+        }
+    )");
+    const std::string once = printNotation(tree);
+    const std::string twice = printNotation(parseNotation(w, once));
+    EXPECT_EQ(once, twice);
+}
+
+TEST(Notation, UnknownDimRejected)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    EXPECT_THROW(parseNotation(w, "tile @L0 [zz:t4] { op matmul }"),
+                 FatalError);
+}
+
+TEST(Notation, UnknownOpRejected)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    EXPECT_THROW(parseNotation(w, "tile @L0 [i:t4] { op nope }"),
+                 FatalError);
+}
+
+TEST(Notation, MalformedLevelRejected)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    EXPECT_THROW(parseNotation(w, "tile @X1 [] { op matmul }"),
+                 FatalError);
+    EXPECT_THROW(parseNotation(w, "tile [] { op matmul }"), FatalError);
+}
+
+TEST(Notation, MalformedLoopSpecRejected)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    EXPECT_THROW(parseNotation(w, "tile @L0 [i:x4] { op matmul }"),
+                 FatalError);
+    EXPECT_THROW(parseNotation(w, "tile @L0 [i:t] { op matmul }"),
+                 FatalError);
+}
+
+TEST(Notation, MissingBraceRejected)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    EXPECT_THROW(parseNotation(w, "tile @L0 [i:t4] { op matmul"),
+                 FatalError);
+}
+
+TEST(Notation, TrailingInputRejected)
+{
+    const Workload w = buildMatmul("mm", 16, 16, 16);
+    EXPECT_THROW(
+        parseNotation(w, "tile @L0 [i:t4] { op matmul } extra"),
+        FatalError);
+}
+
+TEST(Notation, ScopeKindParsingAliases)
+{
+    EXPECT_EQ(parseScopeKind("Sequential"), ScopeKind::Seq);
+    EXPECT_EQ(parseScopeKind("SHAR"), ScopeKind::Shar);
+    EXPECT_EQ(parseScopeKind("Pipeline"), ScopeKind::Pipe);
+    EXPECT_THROW(parseScopeKind("spiral"), FatalError);
+    EXPECT_TRUE(isConcurrent(ScopeKind::Pipe));
+    EXPECT_TRUE(isConcurrent(ScopeKind::Para));
+    EXPECT_FALSE(isConcurrent(ScopeKind::Shar));
+}
+
+} // namespace
+} // namespace tileflow
