@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mapper.dir/fig09_mapper.cpp.o"
+  "CMakeFiles/fig09_mapper.dir/fig09_mapper.cpp.o.d"
+  "fig09_mapper"
+  "fig09_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

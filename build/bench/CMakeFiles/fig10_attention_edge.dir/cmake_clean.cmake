@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_attention_edge.dir/fig10_attention_edge.cpp.o"
+  "CMakeFiles/fig10_attention_edge.dir/fig10_attention_edge.cpp.o.d"
+  "fig10_attention_edge"
+  "fig10_attention_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_attention_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_attention_cloud.dir/fig11_attention_cloud.cpp.o"
+  "CMakeFiles/fig11_attention_cloud.dir/fig11_attention_cloud.cpp.o.d"
+  "fig11_attention_cloud"
+  "fig11_attention_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_attention_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

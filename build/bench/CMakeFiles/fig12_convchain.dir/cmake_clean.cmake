@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_convchain.dir/fig12_convchain.cpp.o"
+  "CMakeFiles/fig12_convchain.dir/fig12_convchain.cpp.o.d"
+  "fig12_convchain"
+  "fig12_convchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_convchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

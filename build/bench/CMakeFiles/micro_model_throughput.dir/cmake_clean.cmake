@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_model_throughput.dir/micro_model_throughput.cpp.o"
+  "CMakeFiles/micro_model_throughput.dir/micro_model_throughput.cpp.o.d"
+  "micro_model_throughput"
+  "micro_model_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_pe_size.dir/table6_pe_size.cpp.o"
+  "CMakeFiles/table6_pe_size.dir/table6_pe_size.cpp.o.d"
+  "table6_pe_size"
+  "table6_pe_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_pe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

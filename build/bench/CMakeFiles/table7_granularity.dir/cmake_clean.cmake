@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_granularity.dir/table7_granularity.cpp.o"
+  "CMakeFiles/table7_granularity.dir/table7_granularity.cpp.o.d"
+  "table7_granularity"
+  "table7_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

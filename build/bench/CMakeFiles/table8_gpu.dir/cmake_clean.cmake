@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_gpu.dir/table8_gpu.cpp.o"
+  "CMakeFiles/table8_gpu.dir/table8_gpu.cpp.o.d"
+  "table8_gpu"
+  "table8_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notation_tour.dir/notation_tour.cpp.o"
+  "CMakeFiles/notation_tour.dir/notation_tour.cpp.o.d"
+  "notation_tour"
+  "notation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/datamovement.cpp" "src/CMakeFiles/tileflow.dir/analysis/datamovement.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/analysis/datamovement.cpp.o.d"
+  "/root/repo/src/analysis/energy.cpp" "src/CMakeFiles/tileflow.dir/analysis/energy.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/analysis/energy.cpp.o.d"
+  "/root/repo/src/analysis/evaluator.cpp" "src/CMakeFiles/tileflow.dir/analysis/evaluator.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/analysis/evaluator.cpp.o.d"
+  "/root/repo/src/analysis/latency.cpp" "src/CMakeFiles/tileflow.dir/analysis/latency.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/analysis/latency.cpp.o.d"
+  "/root/repo/src/analysis/resource.cpp" "src/CMakeFiles/tileflow.dir/analysis/resource.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/analysis/resource.cpp.o.d"
+  "/root/repo/src/analysis/slice.cpp" "src/CMakeFiles/tileflow.dir/analysis/slice.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/analysis/slice.cpp.o.d"
+  "/root/repo/src/arch/arch.cpp" "src/CMakeFiles/tileflow.dir/arch/arch.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/arch/arch.cpp.o.d"
+  "/root/repo/src/arch/energy_table.cpp" "src/CMakeFiles/tileflow.dir/arch/energy_table.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/arch/energy_table.cpp.o.d"
+  "/root/repo/src/arch/presets.cpp" "src/CMakeFiles/tileflow.dir/arch/presets.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/arch/presets.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/tileflow.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tileflow.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/tileflow.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/common/strings.cpp.o.d"
+  "/root/repo/src/core/loop.cpp" "src/CMakeFiles/tileflow.dir/core/loop.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/core/loop.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/CMakeFiles/tileflow.dir/core/mapping.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/core/mapping.cpp.o.d"
+  "/root/repo/src/core/notation.cpp" "src/CMakeFiles/tileflow.dir/core/notation.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/core/notation.cpp.o.d"
+  "/root/repo/src/core/tile.cpp" "src/CMakeFiles/tileflow.dir/core/tile.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/core/tile.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/CMakeFiles/tileflow.dir/core/tree.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/core/tree.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/tileflow.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/core/validate.cpp.o.d"
+  "/root/repo/src/dataflows/attention.cpp" "src/CMakeFiles/tileflow.dir/dataflows/attention.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/dataflows/attention.cpp.o.d"
+  "/root/repo/src/dataflows/builder_util.cpp" "src/CMakeFiles/tileflow.dir/dataflows/builder_util.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/dataflows/builder_util.cpp.o.d"
+  "/root/repo/src/dataflows/convchain.cpp" "src/CMakeFiles/tileflow.dir/dataflows/convchain.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/dataflows/convchain.cpp.o.d"
+  "/root/repo/src/geom/hyperrect.cpp" "src/CMakeFiles/tileflow.dir/geom/hyperrect.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/geom/hyperrect.cpp.o.d"
+  "/root/repo/src/ir/builders.cpp" "src/CMakeFiles/tileflow.dir/ir/builders.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/ir/builders.cpp.o.d"
+  "/root/repo/src/ir/operator.cpp" "src/CMakeFiles/tileflow.dir/ir/operator.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/ir/operator.cpp.o.d"
+  "/root/repo/src/ir/shapes.cpp" "src/CMakeFiles/tileflow.dir/ir/shapes.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/ir/shapes.cpp.o.d"
+  "/root/repo/src/ir/tensor.cpp" "src/CMakeFiles/tileflow.dir/ir/tensor.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/ir/tensor.cpp.o.d"
+  "/root/repo/src/ir/workload.cpp" "src/CMakeFiles/tileflow.dir/ir/workload.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/ir/workload.cpp.o.d"
+  "/root/repo/src/mapper/encoding.cpp" "src/CMakeFiles/tileflow.dir/mapper/encoding.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/mapper/encoding.cpp.o.d"
+  "/root/repo/src/mapper/genetic.cpp" "src/CMakeFiles/tileflow.dir/mapper/genetic.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/mapper/genetic.cpp.o.d"
+  "/root/repo/src/mapper/mapper.cpp" "src/CMakeFiles/tileflow.dir/mapper/mapper.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/mapper/mapper.cpp.o.d"
+  "/root/repo/src/mapper/mcts.cpp" "src/CMakeFiles/tileflow.dir/mapper/mcts.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/mapper/mcts.cpp.o.d"
+  "/root/repo/src/polyhedron/graph_model.cpp" "src/CMakeFiles/tileflow.dir/polyhedron/graph_model.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/polyhedron/graph_model.cpp.o.d"
+  "/root/repo/src/polyhedron/timeloop_model.cpp" "src/CMakeFiles/tileflow.dir/polyhedron/timeloop_model.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/polyhedron/timeloop_model.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/tileflow.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/tileflow.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/tileflow.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dataflows.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_dataflows.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_dataflows.cpp.o.d"
+  "/root/repo/tests/test_datamovement.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_datamovement.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_datamovement.cpp.o.d"
+  "/root/repo/tests/test_datamovement_properties.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_datamovement_properties.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_datamovement_properties.cpp.o.d"
+  "/root/repo/tests/test_hyperrect.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_hyperrect.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_hyperrect.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_mapper.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_mapper.cpp.o.d"
+  "/root/repo/tests/test_notation.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_notation.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_notation.cpp.o.d"
+  "/root/repo/tests/test_polyhedron_sim.cpp" "tests/CMakeFiles/tileflow_tests.dir/test_polyhedron_sim.cpp.o" "gcc" "tests/CMakeFiles/tileflow_tests.dir/test_polyhedron_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tileflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tileflow_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_arch.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_arch.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_common.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_core.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_dataflows.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_dataflows.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_datamovement.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_datamovement.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_datamovement_properties.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_datamovement_properties.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_hyperrect.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_hyperrect.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_ir.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_ir.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_mapper.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_mapper.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_notation.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_notation.cpp.o.d"
+  "CMakeFiles/tileflow_tests.dir/test_polyhedron_sim.cpp.o"
+  "CMakeFiles/tileflow_tests.dir/test_polyhedron_sim.cpp.o.d"
+  "tileflow_tests"
+  "tileflow_tests.pdb"
+  "tileflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tileflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
