@@ -106,6 +106,47 @@ BM_MapperTilingRound(benchmark::State& state)
 }
 BENCHMARK(BM_MapperTilingRound);
 
+/**
+ * Wall clock of the full Bert-B attention search across worker-thread
+ * counts. The result is bit-identical for every thread count (the
+ * determinism contract of the evaluation pipeline); only the wall
+ * clock should move. Compare the 1-thread and 8-thread rows for the
+ * mapper speedup.
+ */
+void
+BM_MapperParallel(benchmark::State& state)
+{
+    const ArchSpec edge = makeEdgeArch();
+    const Workload w = buildAttention(attentionShape("Bert-B"), false);
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionSpace(w, edge);
+    MapperConfig cfg;
+    cfg.rounds = 4;
+    cfg.population = 8;
+    cfg.tilingSamples = 40;
+    cfg.threads = int(state.range(0));
+    double best = 0.0;
+    int evaluations = 0;
+    // No DoNotOptimize here: exploreSpace lives in another TU, so the
+    // call cannot be elided (and DoNotOptimize on a double miscompiles
+    // under GCC -O3 with benchmark 1.7.1's "+r,m" asm constraint).
+    for (auto _ : state) {
+        const MapperResult r = exploreSpace(model, space, cfg);
+        best = r.bestCycles;
+        evaluations = r.evaluations;
+    }
+    state.counters["threads"] = double(cfg.threads);
+    state.counters["bestCycles"] = best;
+    state.counters["evals"] = double(evaluations);
+}
+BENCHMARK(BM_MapperParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 } // namespace
 
 BENCHMARK_MAIN();

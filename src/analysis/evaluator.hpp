@@ -61,7 +61,15 @@ struct EvalResult
     std::string str(const ArchSpec& spec) const;
 };
 
-/** The performance model of TileFlow. */
+/**
+ * The performance model of TileFlow.
+ *
+ * Thread-safety: evaluate() is reentrant. It holds no mutable state —
+ * the workload/spec/options members are read-only after construction
+ * and every analyzer is constructed locally per call — so one
+ * Evaluator may serve concurrent evaluate() calls from the mapper's
+ * thread pool without synchronization.
+ */
 class Evaluator
 {
   public:

@@ -66,6 +66,24 @@ class Rng
     std::mt19937_64 engine_;
 };
 
+/**
+ * Derive an independent stream seed from a base seed and a (stream,
+ * index) pair — splitmix64 finalizer over the mixed words. The mapper
+ * gives every (generation, individual) its own Rng this way, so
+ * results are identical no matter how evaluations are scheduled
+ * across threads.
+ */
+inline uint64_t
+mixSeed(uint64_t seed, uint64_t stream, uint64_t index)
+{
+    uint64_t z = seed;
+    z += 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z += 0xbf58476d1ce4e5b9ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace tileflow
 
 #endif // TILEFLOW_COMMON_RNG_HPP

@@ -1,6 +1,7 @@
 #include "geom/hyperrect.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -39,10 +40,17 @@ HyperRect::volume() const
 {
     if (empty())
         return 0;
-    int64_t vol = 1;
-    for (size_t d = 0; d < begins_.size(); ++d)
-        vol *= ends_[d] - begins_[d];
-    return vol;
+    // Accumulate in 128 bits: every extent is positive here, so the
+    // running product is monotone and a per-step bound check catches
+    // the first wrap instead of silently corrupting data-movement
+    // volumes on large fused workloads.
+    __int128 vol = 1;
+    for (size_t d = 0; d < begins_.size(); ++d) {
+        vol *= __int128(ends_[d] - begins_[d]);
+        if (vol > __int128(std::numeric_limits<int64_t>::max()))
+            panic("HyperRect::volume: overflow at ", str());
+    }
+    return int64_t(vol);
 }
 
 HyperRect

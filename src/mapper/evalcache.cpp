@@ -1,0 +1,58 @@
+#include "mapper/evalcache.hpp"
+
+namespace tileflow {
+
+EvalCache::EvalCache(size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+uint64_t
+EvalCache::hashChoices(const std::vector<int64_t>& choices)
+{
+    // FNV-1a, 64-bit.
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int64_t choice : choices) {
+        uint64_t bits = uint64_t(choice);
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= bits & 0xffULL;
+            hash *= 0x100000001b3ULL;
+            bits >>= 8;
+        }
+    }
+    return hash;
+}
+
+std::optional<CachedEval>
+EvalCache::lookup(const std::vector<int64_t>& choices)
+{
+    Shard& shard = shardFor(hashChoices(choices));
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(choices);
+        if (it != shard.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+}
+
+void
+EvalCache::insert(const std::vector<int64_t>& choices, CachedEval value)
+{
+    Shard& shard = shardFor(hashChoices(choices));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map[choices] = value;
+}
+
+size_t
+EvalCache::size() const
+{
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+} // namespace tileflow

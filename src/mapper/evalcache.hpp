@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sharded memoization cache for mapping evaluations.
+ *
+ * The GA resamples structural genes and the MCTS revisits tiling
+ * prefixes, so the same complete choice vector is evaluated many times
+ * per search (Sec. 7.2's budget counts every one). The cache keys on
+ * the full choice vector — hashed with FNV-1a over its int64 entries,
+ * compared element-wise on collision — and stores just the verdict the
+ * search loop needs (valid + cycles), so a repeated sample skips the
+ * tree build and the entire analysis.
+ *
+ * Sharding: the hash picks one of `shards` independently-locked maps,
+ * so concurrent workers evaluating different mappings rarely contend.
+ * Hit/miss counters are atomics surfaced in MapperResult.
+ */
+
+#ifndef TILEFLOW_MAPPER_EVALCACHE_HPP
+#define TILEFLOW_MAPPER_EVALCACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace tileflow {
+
+/** The memoized verdict for one choice vector. */
+struct CachedEval
+{
+    bool valid = false;
+    double cycles = 0.0;
+};
+
+class EvalCache
+{
+  public:
+    explicit EvalCache(size_t shards = 16);
+
+    EvalCache(const EvalCache&) = delete;
+    EvalCache& operator=(const EvalCache&) = delete;
+
+    /** FNV-1a over the bytes of the choice vector's int64 entries. */
+    static uint64_t hashChoices(const std::vector<int64_t>& choices);
+
+    /** Find a memoized result; counts a hit or a miss. */
+    std::optional<CachedEval> lookup(const std::vector<int64_t>& choices);
+
+    /** Memoize a result (last writer wins on a benign race). */
+    void insert(const std::vector<int64_t>& choices, CachedEval value);
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+    /** Number of distinct mappings memoized. */
+    size_t size() const;
+
+  private:
+    struct ChoiceHash
+    {
+        size_t
+        operator()(const std::vector<int64_t>& key) const
+        {
+            return size_t(hashChoices(key));
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::vector<int64_t>, CachedEval, ChoiceHash>
+            map;
+    };
+
+    Shard& shardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
+
+    std::vector<Shard> shards_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_MAPPER_EVALCACHE_HPP

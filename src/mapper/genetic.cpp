@@ -1,19 +1,56 @@
 #include "mapper/genetic.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/logging.hpp"
 #include "mapper/mcts.hpp"
 
 namespace tileflow {
 
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/** Valid individuals first, then by ascending cycles. */
+bool
+fitterThan(const Individual& a, const Individual& b)
+{
+    if (a.valid != b.valid)
+        return a.valid;
+    if (!a.valid)
+        return false; // invalid individuals are equivalent
+    return a.cycles < b.cycles;
+}
+
+} // namespace
+
 GeneticResult
 GeneticMapper::run()
 {
     GeneticResult result;
+
+    // GA-level randomness (population init, selection, crossover)
+    // stays on this thread and never interleaves with the workers'.
     Rng rng(config_.seed);
-    MctsTuner tuner(*evaluator_, *space_, rng);
+
+    std::unique_ptr<ThreadPool> own_pool;
+    ThreadPool* pool = pool_;
+    if (!pool) {
+        own_pool = std::make_unique<ThreadPool>(
+            config_.threads > 0 ? size_t(config_.threads) : 0);
+        pool = own_pool.get();
+    }
+    std::unique_ptr<EvalCache> own_cache;
+    EvalCache* cache = cache_;
+    if (!cache) {
+        own_cache = std::make_unique<EvalCache>();
+        cache = own_cache.get();
+    }
+    const uint64_t hits_before = cache->hits();
+    const uint64_t misses_before = cache->misses();
 
     const std::vector<size_t> structural = space_->structuralKnobs();
 
@@ -27,16 +64,21 @@ GeneticMapper::run()
         return ind;
     };
 
-    auto evaluate = [&](Individual& ind) {
+    // Tune one individual's tiling with a private, deterministically
+    // seeded Rng; returns the number of evaluator invocations.
+    auto evaluate = [&](Individual& ind, int gen, int index) {
+        Rng ind_rng(mixSeed(config_.seed, uint64_t(gen),
+                            uint64_t(index)));
+        MctsTuner tuner(*evaluator_, *space_, ind_rng);
+        tuner.setCache(cache);
+        tuner.setBatch(config_.mctsBatch);
         const MctsResult tuned =
             tuner.tune(ind.choices, config_.mctsSamplesPerIndividual);
-        result.evaluations += config_.mctsSamplesPerIndividual;
         ind.valid = tuned.found;
-        ind.cycles = tuned.found
-                         ? tuned.bestCycles
-                         : std::numeric_limits<double>::max();
+        ind.cycles = tuned.found ? tuned.bestCycles : kNaN;
         if (tuned.found)
             ind.choices = tuned.bestChoices;
+        return tuned.evaluations;
     };
 
     std::vector<Individual> population;
@@ -44,21 +86,24 @@ GeneticMapper::run()
         population.push_back(random_individual());
 
     Individual best;
-    best.cycles = std::numeric_limits<double>::max();
 
     for (int gen = 0; gen < config_.generations; ++gen) {
-        for (Individual& ind : population)
-            evaluate(ind);
+        // One worker task per individual; each tuner evaluates its own
+        // rollout batches inline on the worker it landed on.
+        std::vector<int> evals(population.size(), 0);
+        pool->parallelFor(population.size(), [&](size_t i) {
+            evals[i] = evaluate(population[i], gen, int(i));
+        });
+        for (int n : evals)
+            result.evaluations += n;
 
-        std::sort(population.begin(), population.end(),
-                  [](const Individual& a, const Individual& b) {
-                      return a.cycles < b.cycles;
-                  });
+        std::sort(population.begin(), population.end(), fitterThan);
         if (population.front().valid &&
-            population.front().cycles < best.cycles) {
+            (!best.valid ||
+             population.front().cycles < best.cycles)) {
             best = population.front();
         }
-        result.trace.push_back(best.cycles);
+        result.trace.push_back(best.valid ? best.cycles : kNaN);
 
         // Elitism + crossover + mutation.
         const int keep =
@@ -86,6 +131,8 @@ GeneticMapper::run()
     }
 
     result.best = best;
+    result.cacheHits = cache->hits() - hits_before;
+    result.cacheMisses = cache->misses() - misses_before;
     return result;
 }
 

@@ -7,16 +7,27 @@
  * individual's fitness comes from an MCTS pass over its tiling table.
  * The top-K individuals seed the next population through crossover
  * and mutation.
+ *
+ * Each generation's individuals are evaluated concurrently on a
+ * ThreadPool. Every (generation, individual) pair gets its own Rng
+ * seeded with mixSeed(seed, generation, index), and selection /
+ * crossover stay on the caller's thread, so the search trajectory is
+ * bit-identical for a fixed seed regardless of thread count. A shared
+ * EvalCache memoizes mapping evaluations across individuals and
+ * generations.
  */
 
 #ifndef TILEFLOW_MAPPER_GENETIC_HPP
 #define TILEFLOW_MAPPER_GENETIC_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "analysis/evaluator.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "mapper/encoding.hpp"
+#include "mapper/evalcache.hpp"
 
 namespace tileflow {
 
@@ -28,6 +39,14 @@ struct GeneticConfig
     int topK = 3;
     double mutationRate = 0.25;
     int mctsSamplesPerIndividual = 40;
+
+    /** MCTS rollout batch size (see MctsTuner::setBatch). */
+    int mctsBatch = 8;
+
+    /** Worker threads when the mapper owns its pool; 0 means
+     *  ThreadPool::defaultThreadCount() (TILEFLOW_THREADS). */
+    int threads = 0;
+
     uint64_t seed = 0x7ea51eafULL;
 };
 
@@ -35,6 +54,8 @@ struct GeneticConfig
 struct Individual
 {
     std::vector<int64_t> choices;
+
+    /** Meaningful only when `valid` (NaN otherwise). */
     double cycles = 0.0;
     bool valid = false;
 };
@@ -44,20 +65,34 @@ struct GeneticResult
 {
     Individual best;
 
-    /** Best-so-far cycles after each generation (Fig. 9b/9c traces). */
+    /** Best-so-far cycles after each generation (Fig. 9b/9c traces).
+     *  NaN for generations before the first valid individual. */
     std::vector<double> trace;
 
-    /** Total mappings evaluated. */
+    /** Actual Evaluator::evaluate invocations (cache hits excluded). */
     int evaluations = 0;
+
+    /** EvalCache counters for the run. */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
 };
 
 /** The GA driver; composes with MctsTuner per individual. */
 class GeneticMapper
 {
   public:
+    /**
+     * `pool` / `cache` may be shared with other components; when null
+     * the mapper creates its own (pool sized by config.threads).
+     */
     GeneticMapper(const Evaluator& evaluator, const MappingSpace& space,
-                  GeneticConfig config = {})
-        : evaluator_(&evaluator), space_(&space), config_(config)
+                  GeneticConfig config = {}, ThreadPool* pool = nullptr,
+                  EvalCache* cache = nullptr)
+        : evaluator_(&evaluator),
+          space_(&space),
+          config_(config),
+          pool_(pool),
+          cache_(cache)
     {
     }
 
@@ -67,6 +102,8 @@ class GeneticMapper
     const Evaluator* evaluator_;
     const MappingSpace* space_;
     GeneticConfig config_;
+    ThreadPool* pool_;
+    EvalCache* cache_;
 };
 
 } // namespace tileflow

@@ -1,6 +1,7 @@
 #include "mapper/mapper.hpp"
 
 #include "common/logging.hpp"
+#include "common/threadpool.hpp"
 
 namespace tileflow {
 
@@ -12,17 +13,24 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     ga.generations = config.rounds;
     ga.populationSize = config.population;
     ga.mctsSamplesPerIndividual = config.tilingSamples;
+    ga.mctsBatch = config.mctsBatch;
     ga.seed = config.seed;
 
-    GeneticMapper mapper(evaluator, space, ga);
+    ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
+    EvalCache cache;
+
+    GeneticMapper mapper(evaluator, space, ga, &pool, &cache);
     const GeneticResult ga_result = mapper.run();
 
     MapperResult result(evaluator.workload());
     result.trace = ga_result.trace;
     result.evaluations = ga_result.evaluations;
+    result.cacheHits = cache.hits();
+    result.cacheMisses = cache.misses();
     if (ga_result.best.valid) {
         result.found = true;
         result.bestCycles = ga_result.best.cycles;
+        result.bestChoices = ga_result.best.choices;
         result.bestTree = space.build(ga_result.best.choices);
     }
     return result;
@@ -30,18 +38,30 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
 
 MapperResult
 exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
-              int samples, uint64_t seed)
+              int samples, uint64_t seed, const MapperConfig& config)
 {
     Rng rng(seed);
+    ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
+    EvalCache cache;
+
     MctsTuner tuner(evaluator, space, rng);
+    tuner.setPool(&pool);
+    tuner.setCache(&cache);
+    tuner.setBatch(config.mctsBatch);
     const MctsResult tuned = tuner.tune(space.defaultChoices(), samples);
 
     MapperResult result(evaluator.workload());
     result.trace = tuned.trace;
-    result.evaluations = samples;
+    // Actual evaluator invocations — NOT `samples`: memoized repeats
+    // and the no-factor-knob early path (one evaluation) both made the
+    // old `= samples` accounting a lie.
+    result.evaluations = tuned.evaluations;
+    result.cacheHits = cache.hits();
+    result.cacheMisses = cache.misses();
     if (tuned.found) {
         result.found = true;
         result.bestCycles = tuned.bestCycles;
+        result.bestChoices = tuned.bestChoices;
         result.bestTree = space.build(tuned.bestChoices);
     }
     return result;

@@ -2,6 +2,12 @@
  * @file
  * The TileFlow mapper facade (Sec. 6): genetic algorithm over the
  * ordering/binding space combined with MCTS over tiling tables.
+ *
+ * Exploration runs on a fixed-size ThreadPool (sized by
+ * MapperConfig::threads, defaulting to TILEFLOW_THREADS /
+ * hardware_concurrency) with a sharded EvalCache memoizing repeated
+ * mapping evaluations. For a fixed seed the result is bit-identical
+ * across thread counts; only the wall clock changes.
  */
 
 #ifndef TILEFLOW_MAPPER_MAPPER_HPP
@@ -11,6 +17,7 @@
 
 #include "analysis/evaluator.hpp"
 #include "mapper/encoding.hpp"
+#include "mapper/evalcache.hpp"
 #include "mapper/genetic.hpp"
 #include "mapper/mcts.hpp"
 
@@ -28,6 +35,14 @@ struct MapperConfig
     /** MCTS samples used to tune each individual's tiling. */
     int tilingSamples = 40;
 
+    /** MCTS rollout batch size (fixed across thread counts so the
+     *  search trajectory is too). */
+    int mctsBatch = 8;
+
+    /** Evaluation worker threads; 0 = ThreadPool::defaultThreadCount()
+     *  (the TILEFLOW_THREADS environment variable when set). */
+    int threads = 0;
+
     uint64_t seed = 0x7ea51eafULL;
 };
 
@@ -35,13 +50,21 @@ struct MapperConfig
 struct MapperResult
 {
     AnalysisTree bestTree;
+    std::vector<int64_t> bestChoices;
     double bestCycles = 0.0;
     bool found = false;
 
-    /** Best-so-far cycles per round. */
+    /** Best-so-far cycles per round; NaN until the first valid
+     *  mapping (never a DBL_MAX sentinel). */
     std::vector<double> trace;
 
+    /** Actual Evaluator::evaluate invocations (== cache misses that
+     *  reached the evaluator; repeated samples are memoized). */
     int evaluations = 0;
+
+    /** EvalCache counters for this exploration. */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
 
     explicit MapperResult(const Workload& workload)
         : bestTree(workload)
@@ -58,7 +81,8 @@ MapperResult exploreSpace(const Evaluator& evaluator,
  *  their defaults, pure MCTS over the factors. */
 MapperResult exploreTiling(const Evaluator& evaluator,
                            const MappingSpace& space, int samples,
-                           uint64_t seed = 0x7ea51eafULL);
+                           uint64_t seed = 0x7ea51eafULL,
+                           const MapperConfig& config = {});
 
 } // namespace tileflow
 

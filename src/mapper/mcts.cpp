@@ -1,5 +1,6 @@
 #include "mapper/mcts.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -29,6 +30,16 @@ struct SearchNode
     }
 };
 
+/** One selected-but-not-yet-scored rollout. */
+struct PendingSample
+{
+    std::vector<int64_t> choices;
+    std::vector<SearchNode*> path;
+    CachedEval eval;
+};
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
 } // namespace
 
 MctsResult
@@ -37,13 +48,28 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
     MctsResult result;
     const std::vector<size_t> factor_idx = space_->factorKnobs();
     if (factor_idx.empty()) {
-        // Nothing to tune: evaluate the base directly.
-        const EvalResult eval = evaluator_->evaluate(space_->build(base));
+        // Nothing to tune: evaluate the base directly (once — not
+        // `samples` times, which the old accounting pretended).
+        CachedEval eval;
+        const std::optional<CachedEval> cached =
+            cache_ ? cache_->lookup(base) : std::nullopt;
+        if (cached) {
+            eval = *cached;
+        } else {
+            const EvalResult full =
+                evaluator_->evaluate(space_->build(base));
+            result.evaluations += 1;
+            eval = {full.valid, full.cycles};
+            if (cache_)
+                cache_->insert(base, eval);
+        }
         if (eval.valid) {
             result.found = true;
             result.bestChoices = base;
             result.bestCycles = eval.cycles;
             result.trace.push_back(eval.cycles);
+        } else {
+            result.trace.push_back(kNaN);
         }
         return result;
     }
@@ -51,67 +77,127 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
     SearchNode root;
     double best = std::numeric_limits<double>::infinity();
 
-    for (int sample = 0; sample < samples; ++sample) {
-        std::vector<int64_t> choices = base;
-        std::vector<SearchNode*> path{&root};
+    for (int done = 0; done < samples;) {
+        const int batch =
+            std::min(batch_, samples - done);
+        std::vector<PendingSample> pending;
+        pending.reserve(size_t(batch));
 
-        // Selection + expansion down the factor-knob decisions.
-        SearchNode* node = &root;
-        size_t depth = 0;
-        for (; depth < factor_idx.size(); ++depth) {
-            const Knob& knob = space_->knobs()[factor_idx[depth]];
-            if (node->children.empty()) {
-                node->children.resize(knob.choices.size());
-                for (auto& child : node->children)
-                    child = std::make_unique<SearchNode>();
-            }
-            size_t pick = 0;
-            double best_ucb = -std::numeric_limits<double>::infinity();
-            for (size_t i = 0; i < node->children.size(); ++i) {
-                const double u = node->children[i]->ucb(node->visits,
-                                                        exploration_);
-                if (u > best_ucb) {
-                    best_ucb = u;
-                    pick = i;
+        // Selection + expansion, serially, under virtual loss: each
+        // selected path's visit counts are bumped immediately so the
+        // next selection in this batch is steered elsewhere. Rollout
+        // randomness also stays serial, so the trajectory is
+        // independent of how the batch is later scheduled.
+        for (int k = 0; k < batch; ++k) {
+            PendingSample sample;
+            sample.choices = base;
+            SearchNode* node = &root;
+            node->visits += 1; // virtual loss
+            sample.path.push_back(node);
+            size_t depth = 0;
+            for (; depth < factor_idx.size(); ++depth) {
+                const Knob& knob = space_->knobs()[factor_idx[depth]];
+                if (node->children.empty()) {
+                    node->children.resize(knob.choices.size());
+                    for (auto& child : node->children)
+                        child = std::make_unique<SearchNode>();
+                }
+                size_t pick = 0;
+                double best_ucb =
+                    -std::numeric_limits<double>::infinity();
+                for (size_t i = 0; i < node->children.size(); ++i) {
+                    const double u = node->children[i]->ucb(
+                        node->visits, exploration_);
+                    if (u > best_ucb) {
+                        best_ucb = u;
+                        pick = i;
+                    }
+                }
+                sample.choices[factor_idx[depth]] = knob.choices[pick];
+                node = node->children[pick].get();
+                const bool fresh = node->visits == 0;
+                node->visits += 1; // virtual loss
+                sample.path.push_back(node);
+                if (fresh) {
+                    ++depth;
+                    break;
                 }
             }
-            choices[factor_idx[depth]] = knob.choices[pick];
-            node = node->children[pick].get();
-            path.push_back(node);
-            if (node->visits == 0) {
-                ++depth;
-                break;
+            // Rollout: complete remaining knobs uniformly at random.
+            for (; depth < factor_idx.size(); ++depth) {
+                const Knob& knob = space_->knobs()[factor_idx[depth]];
+                sample.choices[factor_idx[depth]] =
+                    rng_->choice(knob.choices);
             }
-        }
-        // Rollout: complete the remaining knobs uniformly at random.
-        for (; depth < factor_idx.size(); ++depth) {
-            const Knob& knob = space_->knobs()[factor_idx[depth]];
-            choices[factor_idx[depth]] = rng_->choice(knob.choices);
+            pending.push_back(std::move(sample));
         }
 
-        // Evaluate the complete mapping.
-        const EvalResult eval =
-            evaluator_->evaluate(space_->build(choices));
-        double reward = 0.0;
-        if (eval.valid && eval.cycles > 0.0) {
-            // Reward in (0, 1]: fraction of the best cycles seen.
-            if (eval.cycles < best) {
-                best = eval.cycles;
-                result.bestChoices = choices;
-                result.found = true;
+        // Resolve the batch against the cache, deduplicating repeats
+        // within the batch so each distinct mapping is evaluated at
+        // most once; only the leftovers hit the evaluator.
+        std::vector<int> copy_from(pending.size(), -1);
+        std::vector<size_t> to_evaluate;
+        for (size_t k = 0; k < pending.size(); ++k) {
+            const std::optional<CachedEval> cached =
+                cache_ ? cache_->lookup(pending[k].choices)
+                       : std::nullopt;
+            if (cached) {
+                pending[k].eval = *cached;
+                continue;
             }
-            reward = best / eval.cycles;
+            for (size_t j : to_evaluate) {
+                if (pending[j].choices == pending[k].choices) {
+                    copy_from[k] = int(j);
+                    break;
+                }
+            }
+            if (copy_from[k] < 0)
+                to_evaluate.push_back(k);
         }
-        result.bestCycles = best;
-        result.trace.push_back(result.found
-                                   ? best
-                                   : std::numeric_limits<double>::max());
 
-        for (SearchNode* n : path) {
-            n->visits += 1;
-            n->totalReward += reward;
+        auto evaluate_one = [&](size_t i) {
+            PendingSample& sample = pending[to_evaluate[i]];
+            const EvalResult full =
+                evaluator_->evaluate(space_->build(sample.choices));
+            sample.eval = {full.valid, full.cycles};
+        };
+        if (pool_ && to_evaluate.size() > 1) {
+            pool_->parallelFor(to_evaluate.size(), evaluate_one);
+        } else {
+            for (size_t i = 0; i < to_evaluate.size(); ++i)
+                evaluate_one(i);
         }
+        result.evaluations += int(to_evaluate.size());
+        for (size_t k : to_evaluate) {
+            if (cache_)
+                cache_->insert(pending[k].choices, pending[k].eval);
+        }
+        for (size_t k = 0; k < pending.size(); ++k) {
+            if (copy_from[k] >= 0)
+                pending[k].eval = pending[size_t(copy_from[k])].eval;
+        }
+
+        // Backpropagate serially in sample order; visits were already
+        // added at selection time, so only rewards accumulate here.
+        for (PendingSample& sample : pending) {
+            double reward = 0.0;
+            if (sample.eval.valid && sample.eval.cycles > 0.0) {
+                // Reward in (0, 1]: fraction of the best cycles seen.
+                if (sample.eval.cycles < best) {
+                    best = sample.eval.cycles;
+                    result.bestChoices = sample.choices;
+                    result.found = true;
+                }
+                reward = best / sample.eval.cycles;
+            }
+            result.trace.push_back(result.found ? best : kNaN);
+            for (SearchNode* n : sample.path)
+                n->totalReward += reward;
+        }
+        done += batch;
     }
+    if (result.found)
+        result.bestCycles = best;
     return result;
 }
 

@@ -7,6 +7,19 @@
  * mappings — OOM or over-subscribed PEs — feed back a penalty). UCB1
  * guides the selection; rollouts complete the remaining knobs
  * uniformly at random.
+ *
+ * Rollouts run in batches: K leaves are selected serially under a
+ * virtual-loss increment (each selection bumps visit counts along its
+ * path immediately, steering later selections in the batch away from
+ * the same leaf), the K mappings are evaluated concurrently on an
+ * optional ThreadPool, and rewards are backpropagated serially in
+ * sample order. Because selection, rollout randomness and backprop
+ * never touch the pool, results are bit-identical for a fixed seed
+ * regardless of thread count.
+ *
+ * An optional EvalCache memoizes complete mappings, so resampled
+ * leaves skip the tree build and analysis; `MctsResult.evaluations`
+ * counts only actual Evaluator::evaluate invocations.
  */
 
 #ifndef TILEFLOW_MAPPER_MCTS_HPP
@@ -16,7 +29,9 @@
 
 #include "analysis/evaluator.hpp"
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "mapper/encoding.hpp"
+#include "mapper/evalcache.hpp"
 
 namespace tileflow {
 
@@ -32,11 +47,17 @@ struct MctsSample
 struct MctsResult
 {
     std::vector<int64_t> bestChoices;
+
+    /** Meaningful only when `found`. */
     double bestCycles = 0.0;
     bool found = false;
 
-    /** Best-so-far cycles after each sample (Fig. 9a traces). */
+    /** Best-so-far cycles after each sample (Fig. 9a traces). NaN for
+     *  samples before the first valid mapping. */
     std::vector<double> trace;
+
+    /** Actual Evaluator::evaluate invocations (cache hits excluded). */
+    int evaluations = 0;
 };
 
 /** MCTS tuner for the factor knobs of a mapping space. */
@@ -52,12 +73,23 @@ class MctsTuner
     {
     }
 
+    /** Evaluate rollout batches on `pool` (nullptr: evaluate inline). */
+    void setPool(ThreadPool* pool) { pool_ = pool; }
+
+    /** Memoize evaluations in `cache` (nullptr: no memoization). */
+    void setCache(EvalCache* cache) { cache_ = cache; }
+
+    /** Leaves selected (under virtual loss) per evaluation batch. The
+     *  batch size is part of the search trajectory: results depend on
+     *  it, but for a fixed batch they do not depend on thread count. */
+    void setBatch(int batch) { batch_ = batch < 1 ? 1 : batch; }
+
     /**
      * Tune the factor knobs while holding the structural knobs at the
      * values in `base` (a full choice vector; its factor entries seed
      * nothing — only structure is read).
      *
-     * @param samples number of complete mappings to evaluate
+     * @param samples number of complete mappings to sample
      */
     MctsResult tune(const std::vector<int64_t>& base, int samples);
 
@@ -66,6 +98,9 @@ class MctsTuner
     const MappingSpace* space_;
     Rng* rng_;
     double exploration_;
+    ThreadPool* pool_ = nullptr;
+    EvalCache* cache_ = nullptr;
+    int batch_ = 1;
 };
 
 } // namespace tileflow

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "common/threadpool.hpp"
 
 namespace tileflow {
 namespace {
@@ -119,6 +123,65 @@ TEST(Rng, ChoicePicksContainedElement)
         const int c = rng.choice(v);
         EXPECT_TRUE(c == 3 || c == 5 || c == 7);
     }
+}
+
+TEST(Rng, MixSeedSeparatesStreams)
+{
+    const uint64_t base = 0x7ea51eafULL;
+    EXPECT_NE(mixSeed(base, 0, 0), mixSeed(base, 0, 1));
+    EXPECT_NE(mixSeed(base, 0, 0), mixSeed(base, 1, 0));
+    EXPECT_NE(mixSeed(base, 1, 0), mixSeed(base, 0, 1));
+    // Deterministic: same inputs, same stream.
+    EXPECT_EQ(mixSeed(base, 3, 5), mixSeed(base, 3, 5));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallelFor(counts.size(),
+                     [&](size_t i) { counts[i].fetch_add(1); });
+    for (const auto& c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() { return 21 * 2; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A worker that fans out again must run the inner work inline
+    // rather than wait on peers that may all be blocked the same way.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](size_t) {
+        pool.parallelFor(8, [&](size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(4,
+                                  [](size_t i) {
+                                      if (i == 2)
+                                          fatal("boom");
+                                  }),
+                 FatalError);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvVar)
+{
+    setenv("TILEFLOW_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    unsetenv("TILEFLOW_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
 }
 
 } // namespace

@@ -169,5 +169,21 @@ TEST_P(HyperRectProperty, SetAlgebraInvariants)
 INSTANTIATE_TEST_SUITE_P(Seeds, HyperRectProperty,
                          ::testing::Range(0, 8));
 
+TEST(HyperRect, VolumeNearInt64MaxIsExact)
+{
+    // 2^62 elements fit in int64 and must not trip the guard.
+    const int64_t e = int64_t(1) << 31;
+    HyperRect r({0, 0}, {e, e});
+    EXPECT_EQ(r.volume(), int64_t(1) << 62);
+}
+
+TEST(HyperRectDeathTest, VolumePanicsOnOverflowInsteadOfWrapping)
+{
+    // 2^64 elements: the old code silently wrapped to 0.
+    const int64_t e = int64_t(1) << 32;
+    HyperRect r({0, 0}, {e, e});
+    EXPECT_DEATH(r.volume(), "overflow");
+}
+
 } // namespace
 } // namespace tileflow

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arch/presets.hpp"
 #include "dataflows/attention.hpp"
 #include "ir/shapes.hpp"
@@ -14,6 +16,16 @@
 
 namespace tileflow {
 namespace {
+
+/** First index of a trace that holds a real (non-NaN) value. */
+size_t
+firstValid(const std::vector<double>& trace)
+{
+    size_t i = 0;
+    while (i < trace.size() && std::isnan(trace[i]))
+        ++i;
+    return i;
+}
 
 TEST(Encoding, FactorMenuIsGeometricAndCovers)
 {
@@ -63,11 +75,14 @@ TEST(Mcts, FindsValidMappingAndImproves)
     const MctsResult r = tuner.tune(space.defaultChoices(), 150);
     ASSERT_TRUE(r.found);
     EXPECT_GT(r.bestCycles, 0.0);
-    // Trace is monotone non-increasing.
-    for (size_t i = 1; i < r.trace.size(); ++i)
+    // Trace is NaN until the first valid mapping, then monotone
+    // non-increasing.
+    const size_t first = firstValid(r.trace);
+    ASSERT_LT(first, r.trace.size());
+    for (size_t i = first + 1; i < r.trace.size(); ++i)
         EXPECT_LE(r.trace[i], r.trace[i - 1]);
-    // The best found must beat the worst sampled one (search works).
-    EXPECT_LE(r.bestCycles, r.trace.front());
+    // The best found must beat the first valid sample (search works).
+    EXPECT_LE(r.bestCycles, r.trace[first]);
 }
 
 TEST(Mcts, DeterministicForFixedSeed)
@@ -100,8 +115,16 @@ TEST(Genetic, ExploresStructureAndConverges)
     const GeneticResult r = ga.run();
     ASSERT_TRUE(r.best.valid);
     EXPECT_EQ(r.trace.size(), 5u);
-    for (size_t i = 1; i < r.trace.size(); ++i)
+    const size_t first = firstValid(r.trace);
+    ASSERT_LT(first, r.trace.size());
+    for (size_t i = first + 1; i < r.trace.size(); ++i)
         EXPECT_LE(r.trace[i], r.trace[i - 1]);
+    // Accounting counts evaluator calls, which memoization keeps at or
+    // below the nominal sample budget.
+    EXPECT_GT(r.evaluations, 0);
+    EXPECT_LE(r.evaluations, 5 * 6 * 20);
+    // Within-batch duplicates count as misses but evaluate once.
+    EXPECT_LE(uint64_t(r.evaluations), r.cacheMisses);
 }
 
 TEST(Mapper, RediscoversTileFlowDataflow)
@@ -143,6 +166,170 @@ TEST(Mapper, TilingOnlyExplorationMatchesFullSpaceOrBetter)
     const EvalResult flat = model.evaluate(buildAttentionDataflow(
         w, edge, AttentionDataflow::FlatHGran));
     EXPECT_LE(r.bestCycles, flat.cycles * 1.001);
+}
+
+TEST(Mapper, BitIdenticalAcrossThreadCounts)
+{
+    // The pipeline's determinism contract: per-individual RNG streams
+    // plus serial selection/backprop make the result independent of
+    // how evaluations are scheduled across workers.
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionSpace(w, edge);
+    MapperConfig cfg;
+    cfg.rounds = 4;
+    cfg.population = 6;
+    cfg.tilingSamples = 20;
+    cfg.seed = 1234;
+
+    cfg.threads = 1;
+    const MapperResult serial = exploreSpace(model, space, cfg);
+    cfg.threads = 4;
+    const MapperResult par4 = exploreSpace(model, space, cfg);
+    cfg.threads = 8;
+    const MapperResult par8 = exploreSpace(model, space, cfg);
+
+    ASSERT_TRUE(serial.found);
+    ASSERT_TRUE(par4.found);
+    ASSERT_TRUE(par8.found);
+    EXPECT_EQ(serial.bestCycles, par4.bestCycles);
+    EXPECT_EQ(serial.bestCycles, par8.bestCycles);
+    EXPECT_EQ(serial.bestChoices, par4.bestChoices);
+    EXPECT_EQ(serial.bestChoices, par8.bestChoices);
+    ASSERT_EQ(serial.trace.size(), par8.trace.size());
+    for (size_t i = 0; i < serial.trace.size(); ++i) {
+        if (std::isnan(serial.trace[i]))
+            EXPECT_TRUE(std::isnan(par8.trace[i]));
+        else
+            EXPECT_EQ(serial.trace[i], par8.trace[i]);
+    }
+}
+
+TEST(Mcts, BatchedTuningDeterministicAcrossPoolSizes)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+
+    auto run = [&](size_t pool_size) {
+        ThreadPool pool(pool_size);
+        EvalCache cache;
+        Rng rng(99);
+        MctsTuner tuner(model, space, rng);
+        tuner.setPool(&pool);
+        tuner.setCache(&cache);
+        tuner.setBatch(8);
+        return tuner.tune(space.defaultChoices(), 120);
+    };
+    const MctsResult one = run(1);
+    const MctsResult four = run(4);
+    ASSERT_TRUE(one.found);
+    EXPECT_EQ(one.bestChoices, four.bestChoices);
+    EXPECT_EQ(one.bestCycles, four.bestCycles);
+    // One tuner resolves its cache serially, so even the accounting
+    // is reproducible across pool sizes.
+    EXPECT_EQ(one.evaluations, four.evaluations);
+}
+
+TEST(Mapper, EvalCacheMemoizesRepeatedSamples)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+    const int samples = 600;
+    const MapperResult r = exploreTiling(model, space, samples);
+    ASSERT_TRUE(r.found);
+    // Every sample consults the cache exactly once...
+    EXPECT_EQ(r.cacheHits + r.cacheMisses, uint64_t(samples));
+    // ...resampled mappings hit instead of re-running the analysis...
+    EXPECT_GT(r.cacheHits, 0u);
+    // ...and `evaluations` counts evaluator calls, not samples.
+    EXPECT_GT(r.evaluations, 0);
+    EXPECT_LE(uint64_t(r.evaluations), r.cacheMisses);
+    EXPECT_LT(r.evaluations, samples);
+}
+
+TEST(Mcts, EvaluationsEqualDistinctEvaluatorCalls)
+{
+    // Each evaluator call inserts exactly one new key, so the count
+    // must equal the number of memoized mappings.
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+    EvalCache cache;
+    Rng rng(42);
+    MctsTuner tuner(model, space, rng);
+    tuner.setCache(&cache);
+    tuner.setBatch(8);
+    const MctsResult r = tuner.tune(space.defaultChoices(), 300);
+    EXPECT_EQ(size_t(r.evaluations), cache.size());
+    EXPECT_LT(r.evaluations, 300);
+}
+
+TEST(Mapper, NoFactorKnobPathCountsOneEvaluation)
+{
+    // Regression: exploreTiling used to report `evaluations = samples`
+    // even when the tuner's no-knob early path evaluated exactly once.
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace fixed({}, [&](const std::vector<int64_t>&) {
+        return buildAttentionDataflow(w, edge,
+                                      AttentionDataflow::TileFlowDF);
+    });
+    const MapperResult r = exploreTiling(model, fixed, 50);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.evaluations, 1);
+    EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(Mapper, GeneticNoFactorKnobAccountingIsReal)
+{
+    // Regression: the GA used to add mctsSamplesPerIndividual per
+    // individual regardless of what the tuner actually ran.
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace fixed({}, [&](const std::vector<int64_t>&) {
+        return buildAttentionDataflow(w, edge,
+                                      AttentionDataflow::TileFlowDF);
+    });
+    MapperConfig cfg;
+    cfg.rounds = 3;
+    cfg.population = 4;
+    cfg.tilingSamples = 25;
+    const MapperResult r = exploreSpace(model, fixed, cfg);
+    ASSERT_TRUE(r.found);
+    // One distinct mapping exists; everything beyond the first (or
+    // first concurrent wave of) evaluation(s) is a cache hit.
+    EXPECT_GE(r.evaluations, 1);
+    EXPECT_LE(r.evaluations, cfg.population);
+}
+
+TEST(Mapper, TracesCarryNoSentinelValues)
+{
+    // Regression: DBL_MAX used to leak into traces (and bestCycles)
+    // before the first valid mapping, poisoning bench CSVs.
+    const Workload w = buildAttention(attentionShape("Bert-B"), false);
+    ArchSpec tiny = makeEdgeArch(16 * 1024); // 16KB L1
+    const Evaluator model(w, tiny);
+    const MappingSpace space = makeAttentionSpace(w, tiny);
+    MapperConfig cfg;
+    cfg.rounds = 2;
+    cfg.population = 4;
+    cfg.tilingSamples = 10;
+    const MapperResult r = exploreSpace(model, space, cfg);
+    for (double t : r.trace)
+        EXPECT_TRUE(std::isnan(t) || t < 1e300) << t;
+    if (!r.found) {
+        EXPECT_EQ(r.bestCycles, 0.0);
+        for (double t : r.trace)
+            EXPECT_TRUE(std::isnan(t));
+    }
 }
 
 TEST(Mapper, InvalidStructuresPenalizedNotFatal)
