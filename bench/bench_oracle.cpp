@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Differential-oracle microbench: runs the seeded fuzz stream through
+ * the analytical model and the brute-force oracle side by side,
+ * reporting throughput of each and the exact-vs-conservative split of
+ * the contract (src/oracle/diff.hpp). Useful for sizing the fuzz
+ * suites: the oracle enumerates every temporal step, so its cost per
+ * case bounds how many cases a CI run can afford.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/datamovement.hpp"
+#include "analysis/resource.hpp"
+#include "arch/presets.hpp"
+#include "bench_util.hpp"
+#include "oracle/diff.hpp"
+#include "oracle/fuzz.hpp"
+#include "oracle/oracle.hpp"
+
+using namespace tileflow;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr uint64_t kSeed = 0xD1FFu;
+    constexpr uint64_t kCases = 500;
+
+    bench::banner(
+        "Differential oracle: analytical model vs concrete interpreter");
+
+    const ArchSpec spec = makeValidationArch();
+
+    std::vector<FuzzCase> cases;
+    cases.reserve(kCases);
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kCases; ++i)
+        cases.push_back(makeFuzzCase(kSeed, i));
+    const double gen_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (const FuzzCase& fc : cases) {
+        const DataMovementAnalyzer dm(*fc.workload, spec);
+        (void)dm.analyze(*fc.tree);
+        const ResourceAnalyzer res(*fc.workload, spec);
+        (void)res.analyze(*fc.tree, /*enforce_memory=*/false);
+    }
+    const double model_s = secondsSince(t0);
+
+    int64_t steps = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (const FuzzCase& fc : cases) {
+        const ConcreteOracle oracle(*fc.workload, spec);
+        (void)oracle.run(*fc.tree);
+        steps += ConcreteOracle::stepCost(*fc.tree);
+    }
+    const double oracle_s = secondsSince(t0);
+
+    int exact = 0;
+    int violations = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (const FuzzCase& fc : cases) {
+        const DiffReport report =
+            diffModelVsOracle(*fc.workload, spec, *fc.tree);
+        exact += report.exactClass ? 1 : 0;
+        violations += report.ok() ? 0 : 1;
+    }
+    const double diff_s = secondsSince(t0);
+
+    bench::header("phase", {"cases/s", "total s"});
+    bench::row("generate", {double(kCases) / gen_s, gen_s});
+    bench::row("model", {double(kCases) / model_s, model_s});
+    bench::row("oracle", {double(kCases) / oracle_s, oracle_s});
+    bench::row("diff", {double(kCases) / diff_s, diff_s});
+
+    std::printf("\n%llu cases: %d exact-class, %d conservative, "
+                "%d contract violations\n",
+                static_cast<unsigned long long>(kCases), exact,
+                int(kCases) - exact, violations);
+    std::printf("oracle enumerated %lld temporal steps (%.0f steps/s)\n",
+                static_cast<long long>(steps),
+                double(steps) / oracle_s);
+    return violations == 0 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/childgroup.hpp"
 #include "analysis/slice.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -9,60 +10,6 @@
 namespace tileflow {
 
 namespace {
-
-/** One child subtree of a Tile node plus cached metadata. */
-struct ChildInfo
-{
-    const Node* subtree = nullptr;
-    int level = -1; // memory level of the child's buffer; -1 for op leaf
-    std::vector<const Node*> leaves;
-
-    /** Child tile declared at the SAME level as the parent (e.g., the
-     *  per-op tiles of the Layerwise dataflow under a DRAM root): the
-     *  child manages its own traffic at that level, the parent only
-     *  sequences it. */
-    bool passthrough = false;
-};
-
-/** The flattened (binding, children) view of a Tile node's content. */
-struct ChildGroup
-{
-    ScopeKind binding = ScopeKind::Seq;
-    std::vector<ChildInfo> children;
-};
-
-int
-subtreeLevel(const Node* node)
-{
-    if (node->isTile())
-        return node->memLevel();
-    if (node->isOp())
-        return -1;
-    int level = -1;
-    for (const auto& child : node->children())
-        level = std::max(level, subtreeLevel(child.get()));
-    return level;
-}
-
-ChildGroup
-childGroupOf(const Node* tile)
-{
-    ChildGroup group;
-    const Node* source = tile;
-    if (tile->numChildren() == 1 && tile->child(0)->isScope()) {
-        group.binding = tile->child(0)->scopeKind();
-        source = tile->child(0);
-    }
-    for (const auto& child : source->children()) {
-        ChildInfo info;
-        info.subtree = child.get();
-        info.level = subtreeLevel(child.get());
-        info.leaves = child->opLeaves();
-        info.passthrough = info.level >= tile->memLevel();
-        group.children.push_back(std::move(info));
-    }
-    return group;
-}
 
 /** Traffic sink for one boundary type. */
 struct StepTraffic
@@ -87,43 +34,6 @@ struct Resident
 };
 
 using ResidentMap = std::map<std::pair<int, TensorId>, Resident>;
-
-/** True iff op `producer` of tensor t lives inside `subtree`. */
-bool
-producedInside(const Workload& workload, TensorId tensor,
-               const ChildInfo& child)
-{
-    const OpId producer = workload.producerOf(tensor);
-    if (producer < 0)
-        return false;
-    for (const Node* leaf : child.leaves) {
-        if (leaf->op() == producer)
-            return true;
-    }
-    return false;
-}
-
-/**
- * True iff data of `tensor` written inside `child` must leave the
- * child's buffer: it is consumed by an op outside the child subtree,
- * or it is a terminal workload output.
- */
-bool
-escapesChild(const Workload& workload, TensorId tensor,
-             const ChildInfo& child)
-{
-    const std::vector<OpId> consumers = workload.consumersOf(tensor);
-    if (consumers.empty())
-        return true; // terminal output
-    for (OpId consumer : consumers) {
-        bool inside = false;
-        for (const Node* leaf : child.leaves)
-            inside = inside || leaf->op() == consumer;
-        if (!inside)
-            return true;
-    }
-    return false;
-}
 
 /** Relevance of a dim to an access (reduction dims revisit writes). */
 bool
@@ -280,9 +190,22 @@ simulateStep(const Workload& workload, const StepGeometry& geom,
                         sink->readBytes += bytes;
                         sink->childFill[j] += bytes;
                     }
-                    bool dirty =
-                        it != residents.end() && it->second.dirty &&
-                        it->second.rect == slice;
+                    const bool same_rect =
+                        it != residents.end() && it->second.rect == slice;
+                    if (sink && it != residents.end() &&
+                        it->second.dirty && !same_rect) {
+                        // A read replacing a dirty resident with a
+                        // different slice displaces the written data —
+                        // it must drain upward like a Seq eviction, not
+                        // silently vanish.
+                        const double bytes = weight_for(op, access) *
+                                             double(prev.volume()) *
+                                             elem_bytes;
+                        sink->writeBytes += bytes;
+                        sink->childDrain[j] += bytes;
+                    }
+                    const bool dirty = it != residents.end() &&
+                                       it->second.dirty && same_rect;
                     residents[key] = Resident{slice, dirty};
                 } else {
                     auto it = residents.find(key);

@@ -158,9 +158,23 @@ LatencyModel::analyze(const AnalysisTree& tree,
     LatencyContext pure{workload_, spec_, &dm, &result, false};
     result.computeCycles = latencyOf(pure, tree.root());
 
+    // Utilization counts work against the array that executes it:
+    // matrix MACs against the PE arrays; for vector-only workloads
+    // (no matrix ops at all) the vector lanes are the busy resource,
+    // so elementwise/softmax chains report lane utilization instead of
+    // a meaningless 0.
     const double pe_cycles = result.cycles * double(spec_->totalPEs());
-    result.utilization =
-        pe_cycles > 0.0 ? dm.effectiveMatrixOps / pe_cycles : 0.0;
+    if (dm.effectiveMatrixOps > 0.0) {
+        result.utilization =
+            pe_cycles > 0.0 ? dm.effectiveMatrixOps / pe_cycles : 0.0;
+    } else {
+        const double lane_cycles =
+            result.cycles *
+            double(spec_->totalSubCores() * spec_->vectorLanes());
+        const double vector_ops = dm.effectiveOps - dm.effectiveMatrixOps;
+        result.utilization =
+            lane_cycles > 0.0 ? vector_ops / lane_cycles : 0.0;
+    }
     return result;
 }
 

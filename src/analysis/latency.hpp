@@ -46,7 +46,8 @@ struct LatencyResult
      */
     std::vector<double> levelAccessCycles;
 
-    /** MAC utilization: effective ops / (total PEs x cycles). */
+    /** Compute utilization: matrix MACs / (total PEs x cycles); for
+     *  vector-only workloads, vector ops / (total lanes x cycles). */
     double utilization = 0.0;
 
     /** Slow-down of a level: max(access / compute, 1) as in Sec. 7.5. */

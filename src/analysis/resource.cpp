@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/childgroup.hpp"
 #include "analysis/slice.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -98,19 +99,6 @@ usageOf(const Workload& workload, const Node* node)
     return usage;
 }
 
-int
-subtreeLevel(const Node* node)
-{
-    if (node->isTile())
-        return node->memLevel();
-    if (node->isOp())
-        return -1;
-    int level = -1;
-    for (const auto& child : node->children())
-        level = std::max(level, subtreeLevel(child.get()));
-    return level;
-}
-
 /**
  * Footprint in bytes of one temporal step of `tile` — the data its
  * children stage in the next-inner buffer level (Seq taking the max
@@ -177,24 +165,22 @@ stepFootprint(const Workload& workload, const Node* tile)
         };
 
         // Dedupe multiple accesses of one tensor inside the child by
-        // taking the bounding union of their slices.
-        std::map<TensorId, HyperRect> per_tensor;
+        // taking the exact union volume of their slices (a bounding box
+        // would bill the gaps between disjoint or L-shaped slices as
+        // staged bytes).
+        std::map<TensorId, std::vector<HyperRect>> per_tensor;
         for (const Node* leaf : leaves) {
             const Operator& op = workload.op(leaf->op());
             for (const auto& access : op.accesses()) {
                 if (!crosses_boundary(access.tensor))
                     continue;
-                const HyperRect slice = geom.slice(leaf, access, zero);
-                auto it = per_tensor.find(access.tensor);
-                if (it == per_tensor.end())
-                    per_tensor[access.tensor] = slice;
-                else
-                    it->second = it->second.boundingUnion(slice);
+                per_tensor[access.tensor].push_back(
+                    geom.slice(leaf, access, zero));
             }
         }
         int64_t child_bytes = 0;
-        for (const auto& [tensor, rect] : per_tensor) {
-            child_bytes += rect.volume() *
+        for (const auto& [tensor, rects] : per_tensor) {
+            child_bytes += unionVolume(rects) *
                            dataTypeBytes(workload.tensor(tensor).dtype);
         }
         if (binding == ScopeKind::Seq && children.size() > 1)

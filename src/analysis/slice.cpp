@@ -44,8 +44,22 @@ HyperRect
 StepGeometry::slice(const Node* leaf, const TensorAccess& access,
                     const std::vector<int64_t>& temporal_idx) const
 {
+    static const std::vector<int64_t> no_base;
+    return slice(leaf, access, temporal_idx, no_base);
+}
+
+HyperRect
+StepGeometry::slice(const Node* leaf, const TensorAccess& access,
+                    const std::vector<int64_t>& temporal_idx,
+                    const std::vector<int64_t>& dim_base) const
+{
     const size_t num_dims = workload_->dims().size();
     std::vector<int64_t> base(num_dims, 0);
+    if (!dim_base.empty()) {
+        if (dim_base.size() != num_dims)
+            panic("StepGeometry::slice: dim_base rank mismatch");
+        base = dim_base;
+    }
     std::vector<int64_t> span(num_dims, 1);
 
     // Span below the node: loops on the path from the node's child down

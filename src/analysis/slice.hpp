@@ -60,6 +60,16 @@ class StepGeometry
     HyperRect slice(const Node* leaf, const TensorAccess& access,
                     const std::vector<int64_t>& temporal_idx) const;
 
+    /**
+     * Same, but with an additional per-workload-dim base offset added
+     * before projecting — used by the concrete oracle to anchor the
+     * slice at the true position given the ancestor loop indices
+     * (instead of the translation-invariant zero anchor).
+     */
+    HyperRect slice(const Node* leaf, const TensorAccess& access,
+                    const std::vector<int64_t>& temporal_idx,
+                    const std::vector<int64_t>& dim_base) const;
+
     /** Dim-d progress per step of the node. */
     int64_t unit(DimId dim) const { return units_[size_t(dim)]; }
 

@@ -134,6 +134,68 @@ HyperRect::operator==(const HyperRect& other) const
     return begins_ == other.begins_ && ends_ == other.ends_;
 }
 
+int64_t
+unionVolume(const std::vector<HyperRect>& rects)
+{
+    std::vector<const HyperRect*> live;
+    for (const HyperRect& r : rects) {
+        if (!r.empty())
+            live.push_back(&r);
+    }
+    if (live.empty())
+        return 0;
+    const size_t rank = live.front()->rank();
+    for (const HyperRect* r : live) {
+        if (r->rank() != rank)
+            panic("unionVolume: rank mismatch (", rank, " vs ",
+                  r->rank(), ")");
+    }
+
+    // Per dimension, the sorted distinct cut coordinates.
+    std::vector<std::vector<int64_t>> cuts(rank);
+    for (size_t d = 0; d < rank; ++d) {
+        for (const HyperRect* r : live) {
+            cuts[d].push_back(r->begin(d));
+            cuts[d].push_back(r->end(d));
+        }
+        std::sort(cuts[d].begin(), cuts[d].end());
+        cuts[d].erase(std::unique(cuts[d].begin(), cuts[d].end()),
+                      cuts[d].end());
+    }
+
+    // Odometer over grid cells; a cell is in the union iff its lower
+    // corner is inside some rectangle.
+    std::vector<size_t> cell(rank, 0);
+    int64_t total = 0;
+    while (true) {
+        __int128 cell_vol = 1;
+        for (size_t d = 0; d < rank; ++d)
+            cell_vol *= __int128(cuts[d][cell[d] + 1] - cuts[d][cell[d]]);
+        for (const HyperRect* r : live) {
+            bool inside = true;
+            for (size_t d = 0; d < rank && inside; ++d) {
+                const int64_t lo = cuts[d][cell[d]];
+                inside = r->begin(d) <= lo && lo < r->end(d);
+            }
+            if (inside) {
+                const __int128 next = __int128(total) + cell_vol;
+                if (next > __int128(std::numeric_limits<int64_t>::max()))
+                    panic("unionVolume: overflow");
+                total = int64_t(next);
+                break;
+            }
+        }
+        size_t d = 0;
+        while (d < rank && ++cell[d] + 1 >= cuts[d].size()) {
+            cell[d] = 0;
+            ++d;
+        }
+        if (d == rank)
+            break;
+    }
+    return total;
+}
+
 std::string
 HyperRect::str() const
 {

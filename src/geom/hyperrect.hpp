@@ -81,6 +81,16 @@ class HyperRect
     std::vector<int64_t> ends_;
 };
 
+/**
+ * Exact volume of the union of a set of rectangles (empty rectangles
+ * ignored; all non-empty ones must share one rank). Computed by
+ * coordinate compression: the union is sliced into the grid cells
+ * induced by all begin/end coordinates and each cell is counted once
+ * if any rectangle covers it. Cost is O(cells x rects), fine for the
+ * handfuls of slices per tensor the analyses produce.
+ */
+int64_t unionVolume(const std::vector<HyperRect>& rects);
+
 } // namespace tileflow
 
 #endif // TILEFLOW_GEOM_HYPERRECT_HPP

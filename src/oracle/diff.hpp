@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Differential harness: the analytical model vs the concrete oracle.
+ *
+ * The contract it asserts (see DESIGN.md "Differential oracle"):
+ *
+ *  EXACT CLASS — the model's byte counts must equal the oracle's
+ *  bit-for-bit. A mapping is in the exact class when
+ *    - the workload has a single operator (so no Seq fusion groups and
+ *      no inter-child hand-offs),
+ *    - every access projection is single-term with coefficient 1 and
+ *      no tensor is accessed twice by the operator (slices tile the
+ *      tensor without halo overlap),
+ *    - no access is streamed (the capacity-aware register pass
+ *      deliberately re-fetches streamed slices every step), and
+ *    - writes displace monotonically: along the root-to-leaf temporal
+ *      loop order, no reduction (write-relevant, non-projected) loop
+ *      with extent > 1 is outer to a projected loop with extent > 1 —
+ *      otherwise the model re-drains output tiles it revisits.
+ *
+ *  EVERYWHERE ELSE the model is deliberately conservative and the
+ *  oracle is the exact lower bound:
+ *    - every per-level read / fill / update counter: model >= oracle;
+ *    - per-level step footprint: model <= oracle peak (the model
+ *      observes the first step; the oracle maxes over all steps), with
+ *      equality in the exact class;
+ *    - padded / effective / matrix op counts: always exactly equal.
+ */
+
+#ifndef TILEFLOW_ORACLE_DIFF_HPP
+#define TILEFLOW_ORACLE_DIFF_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+#include "oracle/oracle.hpp"
+
+namespace tileflow {
+
+/** Outcome of one differential comparison. */
+struct DiffReport
+{
+    /** Whether the mapping is in the model's exact class. */
+    bool exactClass = false;
+
+    /** Human-readable contract violations; empty means the model and
+     *  the oracle agree per the contract. */
+    std::vector<std::string> violations;
+
+    /** Model + oracle dumps, for failure diagnostics. */
+    std::string detail;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** True iff the mapping falls in the model's exact class (see above). */
+bool isExactClass(const Workload& workload, const ArchSpec& spec,
+                  const AnalysisTree& tree);
+
+/**
+ * Run DataMovementAnalyzer, ResourceAnalyzer and ConcreteOracle on the
+ * tree and check the exact-or-bound contract.
+ */
+DiffReport diffModelVsOracle(const Workload& workload,
+                             const ArchSpec& spec,
+                             const AnalysisTree& tree,
+                             OracleLimits limits = OracleLimits{});
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ORACLE_DIFF_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Seeded random (workload, mapping) generator for the differential
+ * oracle. Each case is a small, structurally valid analysis tree whose
+ * problem sizes are tuned so the concrete interpreter can enumerate
+ * every temporal step. The stream is fully deterministic: case `index`
+ * of seed `s` is the same tree on every run and platform (common/rng).
+ */
+
+#ifndef TILEFLOW_ORACLE_FUZZ_HPP
+#define TILEFLOW_ORACLE_FUZZ_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** One generated case. The workload owns the dims/tensors the tree
+ *  references, so both travel together. */
+struct FuzzCase
+{
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<AnalysisTree> tree;
+
+    /** Notation text plus generator parameters, for failure reports. */
+    std::string summary;
+
+    /** Generator family (matmul, conv, fused chain, ...). */
+    int kind = 0;
+};
+
+/**
+ * Deterministically generate case `index` of the stream `seed`.
+ * Internally retries with derived sub-seeds until the tree passes
+ * structural validation and the oracle cost guard, so every index
+ * yields a usable case.
+ */
+FuzzCase makeFuzzCase(uint64_t seed, uint64_t index);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ORACLE_FUZZ_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Brute-force concrete dataflow interpreter — the differential oracle
+ * for the analytical model (DataMovementAnalyzer / ResourceAnalyzer).
+ *
+ * For every Tile node v the oracle *executes* the mapping at small
+ * problem sizes instead of counting boundary deltas: it enumerates
+ * every temporal step in real lexicographic order (all ancestor
+ * temporal loops plus v's own), maintains exact per-(child, tensor)
+ * resident sets as ELEMENT SETS (not rectangle approximations),
+ * applies Seq evictions, ownership transfers and dirty write-backs
+ * literally, and tallies exact read / fill / update bytes per memory
+ * level plus exact step footprints and op counts.
+ *
+ * Machine semantics (the "ideal retention" contract the analytical
+ * model aims at — see DESIGN.md "Differential oracle"):
+ *
+ *  - child buffers have unbounded capacity: fetched elements stay
+ *    resident until a Seq child-switch evicts them, so irrelevant-loop
+ *    sweeps reuse staged data (Timeloop-style retention);
+ *  - written elements become dirty and are drained upward exactly once
+ *    per displacement: at Seq evictions, and in one final drain of
+ *    whatever is still dirty when the node finishes (tensors that
+ *    never escape their child's subtree are dropped, mirroring the
+ *    model's escape analysis);
+ *  - tensors produced inside a child generate no read traffic at v
+ *    (the hand-off happened at a lower level), as in the model;
+ *  - ancestor spatial instances execute identical translated copies,
+ *    so one instance is interpreted and traffic is multiplied by the
+ *    spatial execution count — matching the model's "separate
+ *    instances hold separate copies" convention.
+ *
+ * Where the analytical model is exact (single-operator trees whose
+ * accesses are single-term unit-coefficient projections, no streamed
+ * accesses, monotone output displacement) the oracle reproduces its
+ * byte counts bit-for-bit; everywhere the model is deliberately
+ * conservative (Seq eviction uniform weights, streamed re-fetch,
+ * halo re-fetch across executions, reduction-revisit displacement)
+ * the oracle is the exact lower bound. oracle/diff.hpp encodes those
+ * contracts as assertions.
+ */
+
+#ifndef TILEFLOW_ORACLE_ORACLE_HPP
+#define TILEFLOW_ORACLE_ORACLE_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/datamovement.hpp"
+#include "arch/arch.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** Exact whole-run traffic and footprint counts from the interpreter. */
+struct OracleResult
+{
+    /** Per memory level, exact whole-run byte totals (same read /
+     *  fill / update classes as DataMovementResult). */
+    std::vector<LevelTraffic> levels;
+
+    /** Per Tile node, exact whole-run load/store bytes at its level. */
+    std::map<const Node*, NodeTraffic> perNode;
+
+    /** Exact peak bytes staged per instance of each memory level
+     *  (same per-step contract as ResourceResult::footprintBytes). */
+    std::vector<int64_t> footprintBytes;
+
+    /** Exact arithmetic op counts. */
+    double effectiveOps = 0.0;
+    double paddedOps = 0.0;
+    double effectiveMatrixOps = 0.0;
+
+    double dramBytes() const
+    {
+        return levels.empty() ? 0.0 : levels.back().total();
+    }
+
+    std::string str(const ArchSpec& spec) const;
+};
+
+/** Cost guards: the oracle enumerates every element of every step. */
+struct OracleLimits
+{
+    /** Max temporal steps enumerated per tile node (ancestor steps
+     *  times the node's own). */
+    int64_t maxSteps = 1 << 20;
+
+    /** Max elements of one slice (per access, per step). */
+    int64_t maxSliceElements = 1 << 16;
+};
+
+/** The concrete interpreter. */
+class ConcreteOracle
+{
+  public:
+    ConcreteOracle(const Workload& workload, const ArchSpec& spec,
+                   OracleLimits limits = OracleLimits{})
+        : workload_(&workload), spec_(&spec), limits_(limits)
+    {
+    }
+
+    /**
+     * Interpret the mapping. fatal()s if the tree exceeds the cost
+     * limits — the oracle is a small-scale ground truth, not a model.
+     */
+    OracleResult run(const AnalysisTree& tree) const;
+
+    /**
+     * Estimated enumeration cost of the tree (steps summed over tile
+     * nodes); lets generators reject trees too big to interpret.
+     */
+    static int64_t stepCost(const AnalysisTree& tree);
+
+  private:
+    const Workload* workload_;
+    const ArchSpec* spec_;
+    OracleLimits limits_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ORACLE_ORACLE_HPP

@@ -146,6 +146,14 @@ AcceleratorSimulator::run(const SimTrace& trace) const
     const double saved_bytes = trace.analyticDramBytes - result.dramBytes;
     result.energyPJ = trace.analyticEnergyPJ -
                       saved_bytes * (dram.readEnergyPJ + dram.writeEnergyPJ) * 0.5;
+    if (result.energyPJ < 0.0) {
+        // The analytical estimate can be smaller than the DRAM energy
+        // credit when the trace reorders traffic; energy is physical
+        // and never negative.
+        inform("simulator: clamping negative energy estimate (",
+               result.energyPJ, " pJ) to 0");
+        result.energyPJ = 0.0;
+    }
     return result;
 }
 
