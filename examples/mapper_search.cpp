@@ -6,10 +6,17 @@
  * and the best mapping it found, in the tile-centric notation.
  *
  * Usage: mapper_search [attention-shape] [rounds]
+ *            [--time-budget-ms N] [--max-evals N] [--checkpoint PATH]
+ *
+ * With --checkpoint, an interrupted run (budget hit, ^C and rerun, a
+ * crash) resumes from PATH bit-identically. Set the environment
+ * variable TILEFLOW_FAULT_INJECT (e.g. "throw=0.1,nan=0.05,seed=7")
+ * to exercise the fault-tolerant evaluation boundary.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "arch/presets.hpp"
@@ -23,8 +30,40 @@ using namespace tileflow;
 int
 main(int argc, char** argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "Bert-S";
-    const int rounds = argc > 2 ? std::atoi(argv[2]) : 10;
+    std::string name = "Bert-S";
+    MapperConfig cfg;
+    cfg.population = 8;
+    cfg.tilingSamples = 30;
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--time-budget-ms") {
+            cfg.timeBudgetMs = std::atoll(value());
+        } else if (arg == "--max-evals") {
+            cfg.maxEvaluations = std::atoll(value());
+        } else if (arg == "--checkpoint") {
+            cfg.checkpointPath = value();
+        } else if (positional == 0) {
+            name = arg;
+            ++positional;
+        } else if (positional == 1) {
+            cfg.rounds = std::atoi(arg.c_str());
+            ++positional;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
 
     const AttentionShape& shape = attentionShape(name);
     const Workload workload = buildAttention(shape, false);
@@ -37,11 +76,21 @@ main(int argc, char** argv)
                 name.c_str(), (long long)space.structuralSpaceSize(),
                 (long long)space.factorSpaceSize());
 
-    MapperConfig cfg;
-    cfg.rounds = rounds;
-    cfg.population = 8;
-    cfg.tilingSamples = 30;
     const MapperResult result = exploreSpace(model, space, cfg);
+
+    if (result.resumed)
+        std::printf("resumed from checkpoint '%s'\n",
+                    cfg.checkpointPath.c_str());
+    if (result.timedOut)
+        std::printf("stopped early (%s); reporting best-so-far\n",
+                    result.stopReason.c_str());
+    if (result.failedEvaluations > 0) {
+        std::printf("%llu failed evaluations survived:\n",
+                    (unsigned long long)result.failedEvaluations);
+        for (const auto& [reason, count] : result.failureHistogram)
+            std::printf("  %6llu x %s\n", (unsigned long long)count,
+                        reason.c_str());
+    }
 
     std::printf("convergence (best cycles per round):");
     for (double c : result.trace)
@@ -50,7 +99,8 @@ main(int argc, char** argv)
 
     if (!result.found) {
         std::printf("no valid mapping found\n");
-        return 1;
+        // A budget stop without a mapping yet is expected, not failure.
+        return result.timedOut ? 0 : 1;
     }
 
     std::printf("\nbest mapping: %.0f cycles after %d evaluations\n",

@@ -1,7 +1,9 @@
 #include "analysis/evaluator.hpp"
 
+#include <limits>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "core/validate.hpp"
 
@@ -11,6 +13,22 @@ EvalResult
 Evaluator::evaluate(const AnalysisTree& tree) const
 {
     EvalResult result;
+
+    if (const FaultInjector* injector = faultInjector()) {
+        switch (injector->decide(tree)) {
+        case FaultKind::Throw:
+            fatal("injected evaluator fault (seed ", injector->seed(),
+                  ")");
+        case FaultKind::Nan:
+            // A poisoned "success": callers that trust `valid` without
+            // checking the number would propagate NaN into their best.
+            result.valid = true;
+            result.cycles = std::numeric_limits<double>::quiet_NaN();
+            return result;
+        case FaultKind::None:
+            break;
+        }
+    }
 
     if (options_.validate) {
         for (const std::string& problem : validateTree(tree, spec_)) {

@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/datamovement.hpp"
 #include "analysis/energy.hpp"
+#include "analysis/faultinject.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/resource.hpp"
 #include "arch/arch.hpp"
@@ -68,20 +71,43 @@ struct EvalResult
  * the workload/spec/options members are read-only after construction
  * and every analyzer is constructed locally per call — so one
  * Evaluator may serve concurrent evaluate() calls from the mapper's
- * thread pool without synchronization.
+ * thread pool without synchronization. The fault injector, when set,
+ * is likewise read-only and its decisions are pure.
  */
 class Evaluator
 {
   public:
     Evaluator(const Workload& workload, const ArchSpec& spec,
               EvalOptions options = {})
-        : workload_(&workload), spec_(&spec), options_(options)
+        : workload_(&workload),
+          spec_(&spec),
+          options_(options),
+          envInjector_(FaultInjector::fromEnv())
     {
     }
 
     const Workload& workload() const { return *workload_; }
     const ArchSpec& spec() const { return *spec_; }
     const EvalOptions& options() const { return options_; }
+
+    /**
+     * Test/bench hook: make a deterministic, seeded fraction of
+     * evaluate() calls throw FatalError or return NaN cycles (see
+     * faultinject.hpp). nullptr disables. The TILEFLOW_FAULT_INJECT
+     * environment variable (read at construction) is the fallback
+     * when no injector is set programmatically.
+     */
+    void
+    setFaultInjector(std::shared_ptr<const FaultInjector> injector)
+    {
+        injector_ = std::move(injector);
+    }
+
+    const FaultInjector*
+    faultInjector() const
+    {
+        return injector_ ? injector_.get() : envInjector_.get();
+    }
 
     /** Evaluate one mapping end to end. */
     EvalResult evaluate(const AnalysisTree& tree) const;
@@ -90,6 +116,8 @@ class Evaluator
     const Workload* workload_;
     const ArchSpec* spec_;
     EvalOptions options_;
+    std::shared_ptr<const FaultInjector> injector_;
+    std::shared_ptr<const FaultInjector> envInjector_;
 };
 
 } // namespace tileflow

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for Evaluator::evaluate —
+ * test/bench-only machinery used to prove the mapper's evaluation
+ * boundary survives throwing and NaN-poisoned evaluations.
+ *
+ * The decision for a mapping is a pure function of (seed, structural
+ * hash of the tree): the same candidate faults the same way on every
+ * thread, every retry and every resumed run, which keeps fault-
+ * injected searches bit-identical across thread counts — the same
+ * contract the rest of the mapper honors.
+ *
+ * Enable programmatically with Evaluator::setFaultInjector, or for
+ * whole binaries via the TILEFLOW_FAULT_INJECT environment variable:
+ *
+ *     TILEFLOW_FAULT_INJECT="throw=0.1,nan=0.05,seed=7"
+ *
+ * (fractions in [0,1]; omitted keys default to 0 / seed 1).
+ */
+
+#ifndef TILEFLOW_ANALYSIS_FAULTINJECT_HPP
+#define TILEFLOW_ANALYSIS_FAULTINJECT_HPP
+
+#include <cstdint>
+#include <memory>
+
+namespace tileflow {
+
+class AnalysisTree;
+
+/** What an injected fault does to one evaluate() call. */
+enum class FaultKind
+{
+    None,  ///< evaluate normally
+    Throw, ///< throw FatalError("injected evaluator fault ...")
+    Nan,   ///< return a "valid" result whose cycles are NaN
+};
+
+class FaultInjector
+{
+  public:
+    /** Fractions are clamped to [0,1]; their sum is capped at 1. */
+    FaultInjector(double throw_fraction, double nan_fraction,
+                  uint64_t seed);
+
+    /**
+     * Parse TILEFLOW_FAULT_INJECT; null when unset or when both
+     * fractions are zero (injection disabled).
+     */
+    static std::shared_ptr<const FaultInjector> fromEnv();
+
+    /** Decision for a mapping, keyed on its structural hash. */
+    FaultKind decide(const AnalysisTree& tree) const;
+
+    /** Decision for a raw key (exposed for tests). */
+    FaultKind decideKey(uint64_t key) const;
+
+    /** FNV-1a over the tree's structural dump — stable across runs. */
+    static uint64_t treeKey(const AnalysisTree& tree);
+
+    double throwFraction() const { return throwFraction_; }
+    double nanFraction() const { return nanFraction_; }
+    uint64_t seed() const { return seed_; }
+
+  private:
+    double throwFraction_;
+    double nanFraction_;
+    uint64_t seed_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ANALYSIS_FAULTINJECT_HPP

@@ -1,0 +1,35 @@
+#include "common/stop.hpp"
+
+namespace tileflow {
+
+Deadline
+Deadline::afterMs(int64_t ms)
+{
+    Deadline d;
+    if (ms > 0) {
+        d.end_ = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(ms);
+        d.enabled_ = true;
+    }
+    return d;
+}
+
+bool
+Deadline::expired() const
+{
+    return enabled_ && std::chrono::steady_clock::now() >= end_;
+}
+
+const char*
+StopControl::stopReason(int64_t evaluations_so_far) const
+{
+    if (cancel_ && cancel_->cancelled())
+        return "cancelled";
+    if (deadline_.expired())
+        return "deadline";
+    if (maxEvaluations_ > 0 && evaluations_so_far >= maxEvaluations_)
+        return "evaluation budget";
+    return nullptr;
+}
+
+} // namespace tileflow

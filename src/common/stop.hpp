@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running searches.
+ *
+ * The mapper's exploration loops (GA generations, MCTS rollout
+ * batches) poll a StopControl at coarse boundaries and return
+ * best-so-far with a `timedOut` flag instead of throwing — a search
+ * that hits its wall-clock budget, its evaluation budget, or an
+ * external cancel is a *degraded success*, never an error.
+ *
+ * All three stop sources are optional and composable:
+ *  - Deadline: a wall-clock budget fixed when the search starts;
+ *  - CancellationToken: an external kill switch, safe to trip from
+ *    any thread (e.g. a signal handler thread or an RPC server);
+ *  - an evaluation budget: a cap on Evaluator::evaluate calls.
+ */
+
+#ifndef TILEFLOW_COMMON_STOP_HPP
+#define TILEFLOW_COMMON_STOP_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tileflow {
+
+/** A thread-safe external kill switch (sticky once tripped). */
+class CancellationToken
+{
+  public:
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** A wall-clock budget; default-constructed, it never expires. */
+class Deadline
+{
+  public:
+    /** Never expires. */
+    Deadline() = default;
+
+    /** Expires `ms` milliseconds from now (ms <= 0: never). */
+    static Deadline afterMs(int64_t ms);
+
+    bool unlimited() const { return !enabled_; }
+
+    bool expired() const;
+
+  private:
+    std::chrono::steady_clock::time_point end_{};
+    bool enabled_ = false;
+};
+
+/**
+ * Aggregated stop predicate the search loops poll. Checks are cheap
+ * (one clock read + two loads) but still meant for coarse boundaries,
+ * not inner loops. The evaluation count the caller passes in may be
+ * accumulated racily across workers; budgets are best-effort — a
+ * batch in flight when the budget trips still completes.
+ */
+class StopControl
+{
+  public:
+    StopControl() = default;
+
+    StopControl(Deadline deadline, const CancellationToken* cancel,
+                int64_t max_evaluations)
+        : deadline_(deadline),
+          cancel_(cancel),
+          maxEvaluations_(max_evaluations)
+    {
+    }
+
+    /**
+     * Why the search should stop, or nullptr to keep going. The
+     * returned string is static (usable as a histogram key / result
+     * field without ownership concerns).
+     */
+    const char* stopReason(int64_t evaluations_so_far) const;
+
+    bool
+    shouldStop(int64_t evaluations_so_far) const
+    {
+        return stopReason(evaluations_so_far) != nullptr;
+    }
+
+  private:
+    Deadline deadline_;
+    const CancellationToken* cancel_ = nullptr;
+    int64_t maxEvaluations_ = 0; // 0 = unlimited
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_COMMON_STOP_HPP

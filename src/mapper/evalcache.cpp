@@ -55,4 +55,24 @@ EvalCache::size() const
     return total;
 }
 
+void
+EvalCache::forEach(const std::function<void(const std::vector<int64_t>&,
+                                            const CachedEval&)>& fn) const
+{
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto& [choices, value] : shard.map)
+            fn(choices, value);
+    }
+}
+
+void
+EvalCache::clear()
+{
+    for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map.clear();
+    }
+}
+
 } // namespace tileflow

@@ -20,18 +20,36 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace tileflow {
 
-/** The memoized verdict for one choice vector. */
+/**
+ * The memoized verdict for one choice vector.
+ *
+ * Three states, not two: an ordinarily *invalid* mapping (resource
+ * violation — `valid == false, failed == false`), a *valid* one, and
+ * an evaluation that *failed* outright (the evaluator threw, or
+ * returned a non-finite result). Failed evaluations are memoized as
+ * tagged infeasible entries — never as ordinary results — so retries
+ * of a crashing candidate are cache hits that carry the original
+ * failure reason, and hit/miss counters stay honest.
+ */
 struct CachedEval
 {
     bool valid = false;
     double cycles = 0.0;
+
+    /** Evaluation threw or produced a non-finite result. */
+    bool failed = false;
+
+    /** Why it failed (empty unless `failed`). */
+    std::string failReason;
 };
 
 class EvalCache
@@ -56,6 +74,18 @@ class EvalCache
 
     /** Number of distinct mappings memoized. */
     size_t size() const;
+
+    /**
+     * Visit every memoized entry (checkpoint serialization). Not
+     * synchronized against concurrent insert(): call only while no
+     * workers are running (e.g. at a generation boundary). Iteration
+     * order is unspecified.
+     */
+    void forEach(const std::function<void(const std::vector<int64_t>&,
+                                          const CachedEval&)>& fn) const;
+
+    /** Drop every entry; counters are left untouched. */
+    void clear();
 
   private:
     struct ChoiceHash

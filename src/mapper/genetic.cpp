@@ -1,11 +1,16 @@
 #include "mapper/genetic.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "core/validate.hpp"
+#include "mapper/checkpoint.hpp"
 #include "mapper/mcts.hpp"
 
 namespace tileflow {
@@ -25,6 +30,30 @@ fitterThan(const Individual& a, const Individual& b)
     return a.cycles < b.cycles;
 }
 
+void
+writeIndividual(CkptWriter& w, const Individual& ind)
+{
+    w.u64(ind.valid ? 1 : 0);
+    w.d(ind.cycles);
+    w.u64(ind.choices.size());
+    for (int64_t c : ind.choices)
+        w.i64(c);
+}
+
+bool
+readIndividual(CkptReader& r, Individual& ind)
+{
+    ind.valid = r.u64() != 0;
+    ind.cycles = r.d();
+    const uint64_t n = r.u64();
+    if (!r.ok() || n > (1u << 20))
+        return false;
+    ind.choices.resize(size_t(n));
+    for (auto& c : ind.choices)
+        c = r.i64();
+    return r.ok();
+}
+
 } // namespace
 
 GeneticResult
@@ -32,8 +61,9 @@ GeneticMapper::run()
 {
     GeneticResult result;
 
-    // GA-level randomness (population init, selection, crossover)
-    // stays on this thread and never interleaves with the workers'.
+    // GA-level randomness (population init, selection, crossover,
+    // prescreen resampling) stays on this thread and never interleaves
+    // with the workers'.
     Rng rng(config_.seed);
 
     std::unique_ptr<ThreadPool> own_pool;
@@ -51,6 +81,16 @@ GeneticMapper::run()
     }
     const uint64_t hits_before = cache->hits();
     const uint64_t misses_before = cache->misses();
+    // Pre-kill counter portion restored from a checkpoint.
+    uint64_t restored_hits = 0;
+    uint64_t restored_misses = 0;
+
+    const StopControl stop(Deadline::afterMs(config_.timeBudgetMs),
+                           config_.cancel, config_.maxEvaluations);
+    // Budget accounting shared by all concurrent tuners. Adds are
+    // relaxed and the stop decision reads a racy snapshot: budgets
+    // are best-effort at >1 thread, exact at one.
+    std::atomic<int64_t> global_evals{0};
 
     const std::vector<size_t> structural = space_->structuralKnobs();
 
@@ -64,38 +104,179 @@ GeneticMapper::run()
         return ind;
     };
 
+    // Cheap structural screen: builds the tree and runs validateTree
+    // only — no data-movement / latency analysis is paid. A throwing
+    // builder counts as a reject like any hard validation error.
+    auto passes_prescreen = [&](const std::vector<int64_t>& choices) {
+        try {
+            const AnalysisTree tree = space_->build(choices);
+            for (const std::string& problem :
+                 validateTree(tree, &evaluator_->spec())) {
+                if (!startsWith(problem, "warn:"))
+                    return false;
+            }
+            return true;
+        } catch (const std::exception&) {
+            return false;
+        }
+    };
+
     // Tune one individual's tiling with a private, deterministically
-    // seeded Rng; returns the number of evaluator invocations.
+    // seeded Rng; returns the tuner's stats for serial merging.
     auto evaluate = [&](Individual& ind, int gen, int index) {
         Rng ind_rng(mixSeed(config_.seed, uint64_t(gen),
                             uint64_t(index)));
         MctsTuner tuner(*evaluator_, *space_, ind_rng);
         tuner.setCache(cache);
         tuner.setBatch(config_.mctsBatch);
-        const MctsResult tuned =
+        tuner.setStop(&stop, &global_evals);
+        MctsResult tuned =
             tuner.tune(ind.choices, config_.mctsSamplesPerIndividual);
         ind.valid = tuned.found;
         ind.cycles = tuned.found ? tuned.bestCycles : kNaN;
         if (tuned.found)
             ind.choices = tuned.bestChoices;
-        return tuned.evaluations;
+        return tuned;
     };
 
-    std::vector<Individual> population;
-    for (int i = 0; i < config_.populationSize; ++i)
-        population.push_back(random_individual());
-
+    // ---- Checkpoint plumbing -------------------------------------
+    uint64_t config_hash = kCkptHashInit;
+    int start_gen = 0;
     Individual best;
 
-    for (int gen = 0; gen < config_.generations; ++gen) {
+    if (!config_.checkpointPath.empty()) {
+        config_hash = ckptHash(config_hash, config_.seed);
+        config_hash = ckptHash(config_hash,
+                               uint64_t(config_.populationSize));
+        config_hash = ckptHash(config_hash,
+                               uint64_t(config_.generations));
+        config_hash = ckptHash(config_hash, uint64_t(config_.topK));
+        config_hash = ckptHashDouble(config_hash, config_.mutationRate);
+        config_hash = ckptHash(
+            config_hash, uint64_t(config_.mctsSamplesPerIndividual));
+        config_hash = ckptHash(config_hash, uint64_t(config_.mctsBatch));
+        config_hash = ckptHash(config_hash,
+                               config_.prescreen ? 1 : 0);
+        config_hash = ckptHash(config_hash,
+                               uint64_t(config_.prescreenRetries));
+        config_hash = ckptHashSpace(config_hash, *space_);
+    }
+
+    std::vector<Individual> population;
+
+    if (!config_.checkpointPath.empty()) {
+        if (std::optional<CkptReader> r = CkptReader::open(
+                config_.checkpointPath, "ga", config_hash)) {
+            GeneticResult restored;
+            std::vector<Individual> restored_pop;
+            Individual restored_best;
+            r->tag("gen");
+            const int64_t gen = r->i64();
+            r->tag("best");
+            bool state_ok = readIndividual(*r, restored_best);
+            r->tag("population");
+            const uint64_t npop = r->u64();
+            if (npop == uint64_t(config_.populationSize)) {
+                restored_pop.resize(size_t(npop));
+                for (auto& ind : restored_pop)
+                    state_ok = state_ok && readIndividual(*r, ind);
+            } else {
+                state_ok = false;
+            }
+            r->tag("trace");
+            const uint64_t ntrace = r->u64();
+            restored.trace.resize(size_t(ntrace));
+            for (auto& t : restored.trace)
+                t = r->d();
+            r->tag("evals");
+            restored.evaluations = int(r->i64());
+            r->tag("cachedelta");
+            restored_hits = r->u64();
+            restored_misses = r->u64();
+            state_ok = state_ok &&
+                       ckptReadHistogram(*r, restored.failureHistogram);
+            r->tag("prescreen");
+            restored.prescreenRejects = r->u64();
+            r->tag("rng");
+            const std::string rng_state = r->str();
+            state_ok = state_ok && ckptReadCache(*r, *cache);
+            if (state_ok && r->ok()) {
+                result = std::move(restored);
+                result.resumed = true;
+                best = restored_best;
+                population = std::move(restored_pop);
+                start_gen = int(gen);
+                std::istringstream is(rng_state);
+                is >> rng.engine();
+                global_evals.store(result.evaluations,
+                                   std::memory_order_relaxed);
+            } else {
+                warn("ga checkpoint '", config_.checkpointPath,
+                     "': truncated state; starting fresh");
+                cache->clear();
+            }
+        }
+    }
+
+    auto save_checkpoint = [&](int next_gen) {
+        if (config_.checkpointPath.empty())
+            return;
+        CkptWriter w("ga", config_hash);
+        w.tag("gen");
+        w.i64(next_gen);
+        w.tag("best");
+        writeIndividual(w, best);
+        w.tag("population");
+        w.u64(population.size());
+        for (const Individual& ind : population)
+            writeIndividual(w, ind);
+        w.tag("trace");
+        w.u64(result.trace.size());
+        for (double t : result.trace)
+            w.d(t);
+        w.tag("evals");
+        w.i64(result.evaluations);
+        w.tag("cachedelta");
+        w.u64(restored_hits + (cache->hits() - hits_before));
+        w.u64(restored_misses + (cache->misses() - misses_before));
+        ckptWriteHistogram(w, result.failureHistogram);
+        w.tag("prescreen");
+        w.u64(result.prescreenRejects);
+        w.tag("rng");
+        std::ostringstream os;
+        os << rng.engine();
+        w.str(os.str());
+        ckptWriteCache(w, *cache);
+        w.writeTo(config_.checkpointPath);
+    };
+    // --------------------------------------------------------------
+
+    if (population.empty()) {
+        for (int i = 0; i < config_.populationSize; ++i)
+            population.push_back(random_individual());
+    }
+
+    int gens_since_ckpt = 0;
+    for (int gen = start_gen; gen < config_.generations; ++gen) {
+        if (const char* why = stop.stopReason(
+                global_evals.load(std::memory_order_relaxed))) {
+            result.timedOut = true;
+            result.stopReason = why;
+            break;
+        }
+
         // One worker task per individual; each tuner evaluates its own
         // rollout batches inline on the worker it landed on.
-        std::vector<int> evals(population.size(), 0);
+        std::vector<MctsResult> tuned(population.size());
         pool->parallelFor(population.size(), [&](size_t i) {
-            evals[i] = evaluate(population[i], gen, int(i));
+            tuned[i] = evaluate(population[i], gen, int(i));
         });
-        for (int n : evals)
-            result.evaluations += n;
+        bool cut_short = false;
+        for (const MctsResult& t : tuned) {
+            result.evaluations += t.evaluations;
+            mergeHistogram(result.failureHistogram, t.failureHistogram);
+            cut_short = cut_short || t.timedOut;
+        }
 
         std::sort(population.begin(), population.end(), fitterThan);
         if (population.front().valid &&
@@ -105,34 +286,68 @@ GeneticMapper::run()
         }
         result.trace.push_back(best.valid ? best.cycles : kNaN);
 
-        // Elitism + crossover + mutation.
+        // A generation whose tuners were cut short by the budget is
+        // degraded: report its best-so-far but never checkpoint it —
+        // a resumed run replays it in full, which is what keeps
+        // resume bit-identical to an uninterrupted run.
+        if (cut_short ||
+            stop.shouldStop(
+                global_evals.load(std::memory_order_relaxed))) {
+            result.timedOut = true;
+            const char* why = stop.stopReason(
+                global_evals.load(std::memory_order_relaxed));
+            result.stopReason = why ? why : "deadline";
+            break;
+        }
+
+        // Elitism + crossover + mutation; offspring are pre-screened
+        // with cheap structural validation before any evaluation is
+        // paid for (rejects are resampled and counted separately).
         const int keep =
             std::min<int>(config_.topK, int(population.size()));
         std::vector<Individual> next(population.begin(),
                                      population.begin() + keep);
         while (int(next.size()) < config_.populationSize) {
-            const Individual& a =
-                population[rng.index(size_t(keep))];
-            const Individual& b =
-                population[rng.index(size_t(keep))];
             Individual child;
-            child.choices = a.choices;
-            for (size_t idx : structural) {
-                if (rng.flip(0.5))
-                    child.choices[idx] = b.choices[idx];
-                if (rng.flip(config_.mutationRate)) {
-                    child.choices[idx] =
-                        rng.choice(space_->knobs()[idx].choices);
+            const int attempts =
+                config_.prescreen ? std::max(1, config_.prescreenRetries)
+                                  : 1;
+            for (int attempt = 0; attempt < attempts; ++attempt) {
+                const Individual& a =
+                    population[rng.index(size_t(keep))];
+                const Individual& b =
+                    population[rng.index(size_t(keep))];
+                child.choices = a.choices;
+                for (size_t idx : structural) {
+                    if (rng.flip(0.5))
+                        child.choices[idx] = b.choices[idx];
+                    if (rng.flip(config_.mutationRate)) {
+                        child.choices[idx] =
+                            rng.choice(space_->knobs()[idx].choices);
+                    }
                 }
+                if (!config_.prescreen ||
+                    passes_prescreen(child.choices))
+                    break;
+                result.prescreenRejects += 1;
+                // Out of retries: keep the last candidate anyway; the
+                // guarded runtime evaluation will classify it.
             }
             next.push_back(std::move(child));
         }
         population = std::move(next);
+
+        if (++gens_since_ckpt >= config_.checkpointEveryGens ||
+            gen + 1 == config_.generations) {
+            save_checkpoint(gen + 1);
+            gens_since_ckpt = 0;
+        }
     }
 
     result.best = best;
-    result.cacheHits = cache->hits() - hits_before;
-    result.cacheMisses = cache->misses() - misses_before;
+    result.cacheHits = restored_hits + (cache->hits() - hits_before);
+    result.cacheMisses =
+        restored_misses + (cache->misses() - misses_before);
     return result;
 }
 

@@ -15,19 +15,36 @@
  * bit-identical for a fixed seed regardless of thread count. A shared
  * EvalCache memoizes mapping evaluations across individuals and
  * generations.
+ *
+ * Fault tolerance: individual fitness evaluation goes through the
+ * guarded boundary (mapper/guard.hpp), so a throwing or NaN-poisoned
+ * candidate becomes an invalid individual with its reason counted in
+ * `GeneticResult.failureHistogram` — never an aborted search. Fresh
+ * offspring are pre-screened with validateTree before paying for a
+ * full MCTS pass; structural rejects are resampled and counted
+ * separately in `prescreenRejects`. Wall-clock / evaluation budgets
+ * and external cancellation are polled at generation boundaries (and,
+ * via the shared StopControl, at each tuner's batch boundaries);
+ * tripping them returns best-so-far with `timedOut` set. With
+ * `checkpointPath` set, completed generations are persisted
+ * atomically and a matching checkpoint resumes the run
+ * bit-identically (for a fixed seed and thread count).
  */
 
 #ifndef TILEFLOW_MAPPER_GENETIC_HPP
 #define TILEFLOW_MAPPER_GENETIC_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/evaluator.hpp"
 #include "common/rng.hpp"
+#include "common/stop.hpp"
 #include "common/threadpool.hpp"
 #include "mapper/encoding.hpp"
 #include "mapper/evalcache.hpp"
+#include "mapper/guard.hpp"
 
 namespace tileflow {
 
@@ -48,6 +65,34 @@ struct GeneticConfig
     int threads = 0;
 
     uint64_t seed = 0x7ea51eafULL;
+
+    /** Wall-clock budget in ms (0 = unlimited). On expiry the search
+     *  returns best-so-far with `timedOut` set — never throws. */
+    int64_t timeBudgetMs = 0;
+
+    /** Cap on Evaluator::evaluate calls (0 = unlimited). Checked at
+     *  generation and rollout-batch boundaries; a batch in flight
+     *  completes, so the cap can be overshot by at most one batch per
+     *  concurrent tuner. */
+    int64_t maxEvaluations = 0;
+
+    /** External kill switch (nullable; must outlive run()). */
+    const CancellationToken* cancel = nullptr;
+
+    /** Checkpoint file ("" disables). run() resumes from a matching
+     *  checkpoint if one exists, else starts fresh and overwrites. */
+    std::string checkpointPath;
+
+    /** Completed generations between checkpoint writes. */
+    int checkpointEveryGens = 1;
+
+    /** Pre-screen offspring with validateTree (cheap structural
+     *  checks) before paying full evaluation. */
+    bool prescreen = true;
+
+    /** Resample attempts per offspring slot when pre-screening
+     *  rejects a candidate; the last attempt is kept regardless. */
+    int prescreenRetries = 4;
 };
 
 /** One evolved individual. */
@@ -72,9 +117,26 @@ struct GeneticResult
     /** Actual Evaluator::evaluate invocations (cache hits excluded). */
     int evaluations = 0;
 
-    /** EvalCache counters for the run. */
+    /** EvalCache counters for the run (checkpoint-aware: include the
+     *  pre-kill portion of a resumed run). */
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+
+    /** True when a budget / cancellation ended the run early;
+     *  `stopReason` says why. Best-so-far fields stay usable. */
+    bool timedOut = false;
+    std::string stopReason;
+
+    /** True when the run continued from an on-disk checkpoint. */
+    bool resumed = false;
+
+    /** Failed (throwing / NaN-poisoned) candidate evaluations, by
+     *  reason — runtime infeasibility, distinct from prescreen. */
+    FailureHistogram failureHistogram;
+
+    /** Offspring rejected by the cheap validateTree pre-screen before
+     *  any evaluation was paid for. */
+    uint64_t prescreenRejects = 0;
 };
 
 /** The GA driver; composes with MctsTuner per individual. */

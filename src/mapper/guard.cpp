@@ -1,0 +1,52 @@
+#include "mapper/guard.hpp"
+
+#include <cmath>
+#include <exception>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+CachedEval
+guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
+                const std::vector<int64_t>& choices)
+{
+    CachedEval out;
+    try {
+        const AnalysisTree tree = space.build(choices);
+        const EvalResult full = evaluator.evaluate(tree);
+        if (full.valid &&
+            !(std::isfinite(full.cycles) && full.cycles > 0.0)) {
+            out.failed = true;
+            out.failReason = "non-finite or non-positive cycles";
+        } else {
+            out.valid = full.valid;
+            out.cycles = full.cycles;
+        }
+    } catch (const FatalError& e) {
+        out.failed = true;
+        out.failReason = e.what();
+    } catch (const std::exception& e) {
+        out.failed = true;
+        out.failReason = concat("unexpected exception: ", e.what());
+    }
+    return out;
+}
+
+void
+mergeHistogram(FailureHistogram& into, const FailureHistogram& from)
+{
+    for (const auto& [reason, count] : from)
+        into[reason] += count;
+}
+
+uint64_t
+histogramTotal(const FailureHistogram& hist)
+{
+    uint64_t total = 0;
+    for (const auto& [reason, count] : hist)
+        total += count;
+    return total;
+}
+
+} // namespace tileflow

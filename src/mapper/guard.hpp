@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The mapper's hardened evaluation boundary.
+ *
+ * A candidate mapping drawn by the search can fail in three ways the
+ * search loop must survive:
+ *  - the space's tree builder throws (structurally-impossible combo);
+ *  - Evaluator::evaluate throws FatalError (user-level model error,
+ *    including injected faults);
+ *  - the evaluator returns a "valid" result whose cycles are NaN,
+ *    infinite or non-positive (a poisoned success).
+ *
+ * guardedEvaluate converts all three into a tagged infeasible
+ * CachedEval carrying the failure reason, so a bad candidate is a
+ * search outcome (penalty + histogram entry), never a crashed search.
+ * panic() — an internal invariant violation — calls abort() and is
+ * deliberately NOT caught: a TileFlow bug must not be masked as an
+ * infeasible mapping.
+ */
+
+#ifndef TILEFLOW_MAPPER_GUARD_HPP
+#define TILEFLOW_MAPPER_GUARD_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "mapper/encoding.hpp"
+#include "mapper/evalcache.hpp"
+
+namespace tileflow {
+
+/** Failure-reason histogram: reason string → occurrence count. */
+using FailureHistogram = std::map<std::string, uint64_t>;
+
+/**
+ * Build and evaluate `choices`, converting every throw and every
+ * non-finite "valid" result into a tagged infeasible CachedEval.
+ * Never throws (panic/abort excepted).
+ */
+CachedEval guardedEvaluate(const Evaluator& evaluator,
+                           const MappingSpace& space,
+                           const std::vector<int64_t>& choices);
+
+/** Merge `from` into `into` (histogram accumulation). */
+void mergeHistogram(FailureHistogram& into, const FailureHistogram& from);
+
+/** Sum of all counts in a histogram. */
+uint64_t histogramTotal(const FailureHistogram& hist);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_MAPPER_GUARD_HPP

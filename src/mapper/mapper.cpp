@@ -15,6 +15,11 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     ga.mctsSamplesPerIndividual = config.tilingSamples;
     ga.mctsBatch = config.mctsBatch;
     ga.seed = config.seed;
+    ga.timeBudgetMs = config.timeBudgetMs;
+    ga.maxEvaluations = config.maxEvaluations;
+    ga.cancel = config.cancel;
+    ga.checkpointPath = config.checkpointPath;
+    ga.checkpointEveryGens = config.checkpointEveryRounds;
 
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
     EvalCache cache;
@@ -25,8 +30,14 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     MapperResult result(evaluator.workload());
     result.trace = ga_result.trace;
     result.evaluations = ga_result.evaluations;
-    result.cacheHits = cache.hits();
-    result.cacheMisses = cache.misses();
+    result.cacheHits = ga_result.cacheHits;
+    result.cacheMisses = ga_result.cacheMisses;
+    result.timedOut = ga_result.timedOut;
+    result.stopReason = ga_result.stopReason;
+    result.resumed = ga_result.resumed;
+    result.failureHistogram = ga_result.failureHistogram;
+    result.failedEvaluations = histogramTotal(result.failureHistogram);
+    result.prescreenRejects = ga_result.prescreenRejects;
     if (ga_result.best.valid) {
         result.found = true;
         result.bestCycles = ga_result.best.cycles;
@@ -44,10 +55,18 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
     EvalCache cache;
 
+    const StopControl stop(Deadline::afterMs(config.timeBudgetMs),
+                           config.cancel, config.maxEvaluations);
+
     MctsTuner tuner(evaluator, space, rng);
     tuner.setPool(&pool);
     tuner.setCache(&cache);
     tuner.setBatch(config.mctsBatch);
+    tuner.setStop(&stop);
+    if (!config.checkpointPath.empty()) {
+        tuner.setCheckpoint(config.checkpointPath,
+                            config.checkpointEveryBatches, seed);
+    }
     const MctsResult tuned = tuner.tune(space.defaultChoices(), samples);
 
     MapperResult result(evaluator.workload());
@@ -56,8 +75,13 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
     // and the no-factor-knob early path (one evaluation) both made the
     // old `= samples` accounting a lie.
     result.evaluations = tuned.evaluations;
-    result.cacheHits = cache.hits();
-    result.cacheMisses = cache.misses();
+    result.cacheHits = tuned.cacheHits;
+    result.cacheMisses = tuned.cacheMisses;
+    result.timedOut = tuned.timedOut;
+    result.stopReason = tuned.stopReason;
+    result.resumed = tuned.resumed;
+    result.failureHistogram = tuned.failureHistogram;
+    result.failedEvaluations = histogramTotal(result.failureHistogram);
     if (tuned.found) {
         result.found = true;
         result.bestCycles = tuned.bestCycles;

@@ -8,6 +8,14 @@
  * hardware_concurrency) with a sharded EvalCache memoizing repeated
  * mapping evaluations. For a fixed seed the result is bit-identical
  * across thread counts; only the wall clock changes.
+ *
+ * The search is fault-tolerant: candidate evaluations that throw or
+ * return non-finite results are recorded as infeasible (see
+ * MapperResult::failureHistogram) instead of aborting; wall-clock /
+ * evaluation budgets and external cancellation degrade gracefully to
+ * best-so-far with `timedOut` set; and with `checkpointPath` set the
+ * search state is persisted atomically so an interrupted run resumes
+ * bit-identically.
  */
 
 #ifndef TILEFLOW_MAPPER_MAPPER_HPP
@@ -16,9 +24,11 @@
 #include <string>
 
 #include "analysis/evaluator.hpp"
+#include "common/stop.hpp"
 #include "mapper/encoding.hpp"
 #include "mapper/evalcache.hpp"
 #include "mapper/genetic.hpp"
+#include "mapper/guard.hpp"
 #include "mapper/mcts.hpp"
 
 namespace tileflow {
@@ -44,6 +54,30 @@ struct MapperConfig
     int threads = 0;
 
     uint64_t seed = 0x7ea51eafULL;
+
+    /** Wall-clock budget in milliseconds (0 = unlimited). Expiry is
+     *  polled at generation / rollout-batch boundaries; the search
+     *  returns best-so-far with `timedOut` set, never throws. */
+    int64_t timeBudgetMs = 0;
+
+    /** Cap on Evaluator::evaluate calls (0 = unlimited); best-effort,
+     *  overshoots by at most one batch per concurrent tuner. */
+    int64_t maxEvaluations = 0;
+
+    /** External kill switch (nullable; must outlive the call). */
+    const CancellationToken* cancel = nullptr;
+
+    /** Checkpoint file ("" disables). If a checkpoint written by the
+     *  same configuration exists there, the search resumes from it;
+     *  otherwise it starts fresh and overwrites. Writes are atomic
+     *  (tmp + rename): a crash mid-write never corrupts the file. */
+    std::string checkpointPath;
+
+    /** GA generations between checkpoint writes. */
+    int checkpointEveryRounds = 1;
+
+    /** MCTS batches between checkpoint writes (tiling-only search). */
+    int checkpointEveryBatches = 8;
 };
 
 /** Exploration outcome. */
@@ -62,9 +96,31 @@ struct MapperResult
      *  reached the evaluator; repeated samples are memoized). */
     int evaluations = 0;
 
-    /** EvalCache counters for this exploration. */
+    /** EvalCache counters for this exploration (a resumed run
+     *  includes the pre-kill portion). */
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+
+    /** True when a budget or cancellation ended the search early;
+     *  `stopReason` is "deadline", "cancelled" or "evaluation
+     *  budget". Best-so-far fields stay usable. */
+    bool timedOut = false;
+    std::string stopReason;
+
+    /** True when the search resumed from an on-disk checkpoint. */
+    bool resumed = false;
+
+    /** Candidate evaluations that threw or returned non-finite
+     *  results, keyed by failure reason. These are *search outcomes*
+     *  (the candidate scores as infeasible), not errors. */
+    FailureHistogram failureHistogram;
+
+    /** Sum of failureHistogram counts. */
+    uint64_t failedEvaluations = 0;
+
+    /** Offspring rejected by the GA's cheap validateTree pre-screen
+     *  (counted separately from runtime infeasibility). */
+    uint64_t prescreenRejects = 0;
 
     explicit MapperResult(const Workload& workload)
         : bestTree(workload)

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hpp"
+#include "mapper/checkpoint.hpp"
 
 namespace tileflow {
 
@@ -40,6 +42,34 @@ struct PendingSample
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
+void
+writeNode(CkptWriter& w, const SearchNode& node)
+{
+    w.i64(node.visits);
+    w.d(node.totalReward);
+    w.u64(node.children.size());
+    for (const auto& child : node.children)
+        writeNode(w, *child);
+}
+
+bool
+readNode(CkptReader& r, SearchNode& node)
+{
+    node.visits = int(r.i64());
+    node.totalReward = r.d();
+    const uint64_t n = r.u64();
+    if (!r.ok() || n > 4096) // menus are small; bound malformed input
+        return false;
+    node.children.clear();
+    node.children.reserve(size_t(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        node.children.push_back(std::make_unique<SearchNode>());
+        if (!readNode(r, *node.children.back()))
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 MctsResult
@@ -47,6 +77,12 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
 {
     MctsResult result;
     const std::vector<size_t> factor_idx = space_->factorKnobs();
+    const uint64_t hits_before = cache_ ? cache_->hits() : 0;
+    const uint64_t misses_before = cache_ ? cache_->misses() : 0;
+    // Pre-kill counter portion restored from a checkpoint.
+    uint64_t restored_hits = 0;
+    uint64_t restored_misses = 0;
+
     if (factor_idx.empty()) {
         // Nothing to tune: evaluate the base directly (once — not
         // `samples` times, which the old accounting pretended).
@@ -56,13 +92,15 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         if (cached) {
             eval = *cached;
         } else {
-            const EvalResult full =
-                evaluator_->evaluate(space_->build(base));
+            eval = guardedEvaluate(*evaluator_, *space_, base);
             result.evaluations += 1;
-            eval = {full.valid, full.cycles};
+            if (globalEvals_)
+                globalEvals_->fetch_add(1, std::memory_order_relaxed);
             if (cache_)
                 cache_->insert(base, eval);
         }
+        if (eval.failed)
+            result.failureHistogram[eval.failReason] += 1;
         if (eval.valid) {
             result.found = true;
             result.bestChoices = base;
@@ -71,13 +109,137 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         } else {
             result.trace.push_back(kNaN);
         }
+        if (cache_) {
+            result.cacheHits = cache_->hits() - hits_before;
+            result.cacheMisses = cache_->misses() - misses_before;
+        }
         return result;
     }
 
     SearchNode root;
     double best = std::numeric_limits<double>::infinity();
+    int done = 0;
 
-    for (int done = 0; done < samples;) {
+    uint64_t config_hash = kCkptHashInit;
+    if (!ckptPath_.empty()) {
+        config_hash = ckptHash(config_hash, ckptSalt_);
+        config_hash = ckptHash(config_hash, uint64_t(batch_));
+        config_hash = ckptHash(config_hash, uint64_t(samples));
+        config_hash = ckptHashDouble(config_hash, exploration_);
+        config_hash = ckptHash(config_hash, base.size());
+        for (int64_t c : base)
+            config_hash = ckptHash(config_hash, uint64_t(c));
+        config_hash = ckptHashSpace(config_hash, *space_);
+
+        if (std::optional<CkptReader> r =
+                CkptReader::open(ckptPath_, "mcts", config_hash)) {
+            MctsResult restored;
+            SearchNode restored_root;
+            r->tag("done");
+            const int64_t restored_done = r->i64();
+            r->tag("found");
+            restored.found = r->u64() != 0;
+            r->tag("best");
+            const double restored_best = r->d();
+            r->tag("bestchoices");
+            const uint64_t nbest = r->u64();
+            restored.bestChoices.resize(size_t(nbest));
+            for (auto& c : restored.bestChoices)
+                c = r->i64();
+            r->tag("trace");
+            const uint64_t ntrace = r->u64();
+            restored.trace.resize(size_t(ntrace));
+            for (auto& t : restored.trace)
+                t = r->d();
+            r->tag("evals");
+            restored.evaluations = int(r->i64());
+            r->tag("cachedelta");
+            restored_hits = r->u64();
+            restored_misses = r->u64();
+            bool tree_ok = ckptReadHistogram(*r, restored.failureHistogram);
+            r->tag("rng");
+            const std::string rng_state = r->str();
+            r->tag("tree");
+            tree_ok = tree_ok && readNode(*r, restored_root);
+            if (cache_)
+                tree_ok = tree_ok && ckptReadCache(*r, *cache_);
+            if (tree_ok && r->ok()) {
+                result = std::move(restored);
+                result.resumed = true;
+                root = std::move(restored_root);
+                best = restored_best;
+                done = int(restored_done);
+                std::istringstream is(rng_state);
+                is >> rng_->engine();
+                if (globalEvals_) {
+                    globalEvals_->fetch_add(
+                        result.evaluations,
+                        std::memory_order_relaxed);
+                }
+            } else {
+                warn("mcts checkpoint '", ckptPath_,
+                     "': truncated state; starting fresh");
+                if (cache_)
+                    cache_->clear();
+            }
+        }
+    }
+
+    auto save_checkpoint = [&]() {
+        if (ckptPath_.empty())
+            return;
+        CkptWriter w("mcts", config_hash);
+        w.tag("done");
+        w.i64(done);
+        w.tag("found");
+        w.u64(result.found ? 1 : 0);
+        w.tag("best");
+        w.d(best);
+        w.tag("bestchoices");
+        w.u64(result.bestChoices.size());
+        for (int64_t c : result.bestChoices)
+            w.i64(c);
+        w.tag("trace");
+        w.u64(result.trace.size());
+        for (double t : result.trace)
+            w.d(t);
+        w.tag("evals");
+        w.i64(result.evaluations);
+        w.tag("cachedelta");
+        w.u64(restored_hits + (cache_ ? cache_->hits() - hits_before
+                                      : 0));
+        w.u64(restored_misses + (cache_ ? cache_->misses() -
+                                              misses_before
+                                        : 0));
+        ckptWriteHistogram(w, result.failureHistogram);
+        w.tag("rng");
+        std::ostringstream os;
+        os << rng_->engine();
+        w.str(os.str());
+        w.tag("tree");
+        writeNode(w, root);
+        if (cache_)
+            ckptWriteCache(w, *cache_);
+        w.writeTo(ckptPath_);
+    };
+
+    int batches_since_ckpt = 0;
+    while (done < samples) {
+        // Batches are the atomic unit: stop checks and checkpoints
+        // only happen here, so persisted state is always consistent.
+        if (stop_) {
+            const int64_t charged =
+                globalEvals_
+                    ? globalEvals_->load(std::memory_order_relaxed)
+                    : result.evaluations;
+            if (const char* why = stop_->stopReason(charged)) {
+                result.timedOut = true;
+                result.stopReason = why;
+                save_checkpoint();
+                break;
+            }
+        }
+
         const int batch =
             std::min(batch_, samples - done);
         std::vector<PendingSample> pending;
@@ -155,11 +317,13 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 to_evaluate.push_back(k);
         }
 
+        // The guarded boundary: throwing / NaN-poisoned evaluations
+        // become tagged infeasible verdicts instead of killing the
+        // search (see mapper/guard.hpp).
         auto evaluate_one = [&](size_t i) {
             PendingSample& sample = pending[to_evaluate[i]];
-            const EvalResult full =
-                evaluator_->evaluate(space_->build(sample.choices));
-            sample.eval = {full.valid, full.cycles};
+            sample.eval =
+                guardedEvaluate(*evaluator_, *space_, sample.choices);
         };
         if (pool_ && to_evaluate.size() > 1) {
             pool_->parallelFor(to_evaluate.size(), evaluate_one);
@@ -168,6 +332,10 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 evaluate_one(i);
         }
         result.evaluations += int(to_evaluate.size());
+        if (globalEvals_) {
+            globalEvals_->fetch_add(int64_t(to_evaluate.size()),
+                                    std::memory_order_relaxed);
+        }
         for (size_t k : to_evaluate) {
             if (cache_)
                 cache_->insert(pending[k].choices, pending[k].eval);
@@ -181,7 +349,9 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         // added at selection time, so only rewards accumulate here.
         for (PendingSample& sample : pending) {
             double reward = 0.0;
-            if (sample.eval.valid && sample.eval.cycles > 0.0) {
+            if (sample.eval.failed) {
+                result.failureHistogram[sample.eval.failReason] += 1;
+            } else if (sample.eval.valid && sample.eval.cycles > 0.0) {
                 // Reward in (0, 1]: fraction of the best cycles seen.
                 if (sample.eval.cycles < best) {
                     best = sample.eval.cycles;
@@ -195,9 +365,22 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 n->totalReward += reward;
         }
         done += batch;
+
+        if (!ckptPath_.empty() && ++batches_since_ckpt >= ckptEvery_) {
+            save_checkpoint();
+            batches_since_ckpt = 0;
+        }
     }
+    if (!result.timedOut)
+        save_checkpoint();
     if (result.found)
         result.bestCycles = best;
+    if (cache_) {
+        result.cacheHits =
+            restored_hits + (cache_->hits() - hits_before);
+        result.cacheMisses =
+            restored_misses + (cache_->misses() - misses_before);
+    }
     return result;
 }
 

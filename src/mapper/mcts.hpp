@@ -20,18 +20,33 @@
  * An optional EvalCache memoizes complete mappings, so resampled
  * leaves skip the tree build and analysis; `MctsResult.evaluations`
  * counts only actual Evaluator::evaluate invocations.
+ *
+ * Fault tolerance: every rollout is evaluated through the guarded
+ * boundary (mapper/guard.hpp) — a throwing or NaN-poisoned evaluation
+ * marks that sample infeasible (reward 0) with its reason recorded in
+ * `MctsResult.failureHistogram`, and is cached as a tagged infeasible
+ * entry. An optional StopControl is polled at batch boundaries; when
+ * it trips, tune() returns best-so-far with `timedOut` set. With
+ * setCheckpoint, the full search state (tree statistics, RNG engine,
+ * best-so-far, trace, cache) is persisted atomically every N batches,
+ * and a matching checkpoint found at tune() start resumes the run
+ * bit-identically.
  */
 
 #ifndef TILEFLOW_MAPPER_MCTS_HPP
 #define TILEFLOW_MAPPER_MCTS_HPP
 
+#include <atomic>
+#include <string>
 #include <vector>
 
 #include "analysis/evaluator.hpp"
 #include "common/rng.hpp"
+#include "common/stop.hpp"
 #include "common/threadpool.hpp"
 #include "mapper/encoding.hpp"
 #include "mapper/evalcache.hpp"
+#include "mapper/guard.hpp"
 
 namespace tileflow {
 
@@ -58,6 +73,22 @@ struct MctsResult
 
     /** Actual Evaluator::evaluate invocations (cache hits excluded). */
     int evaluations = 0;
+
+    /** EvalCache hits/misses charged to this run (checkpoint-aware:
+     *  includes the pre-kill portion of a resumed run). */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+
+    /** True when a StopControl ended the run early; `stopReason` says
+     *  why ("deadline", "cancelled", "evaluation budget"). */
+    bool timedOut = false;
+    std::string stopReason;
+
+    /** True when the run continued from an on-disk checkpoint. */
+    bool resumed = false;
+
+    /** Failed (throwing / NaN-poisoned) samples, by reason. */
+    FailureHistogram failureHistogram;
 };
 
 /** MCTS tuner for the factor knobs of a mapping space. */
@@ -85,6 +116,37 @@ class MctsTuner
     void setBatch(int batch) { batch_ = batch < 1 ? 1 : batch; }
 
     /**
+     * Poll `stop` at every batch boundary; when it trips, tune()
+     * returns best-so-far with `timedOut` set instead of throwing.
+     * `global_evals`, when given, is the evaluation count the budget
+     * is charged against (shared across tuners by the GA); otherwise
+     * the tuner's own count is used. Pointers must outlive tune().
+     */
+    void
+    setStop(const StopControl* stop,
+            std::atomic<int64_t>* global_evals = nullptr)
+    {
+        stop_ = stop;
+        globalEvals_ = global_evals;
+    }
+
+    /**
+     * Persist search state to `path` every `every_batches` completed
+     * batches (atomic tmp+rename), and resume from a matching
+     * checkpoint at tune() start. `salt` folds the caller's seed into
+     * the checkpoint's config hash so a run restarted with a
+     * different seed starts fresh instead of resuming silently.
+     */
+    void
+    setCheckpoint(const std::string& path, int every_batches,
+                  uint64_t salt)
+    {
+        ckptPath_ = path;
+        ckptEvery_ = every_batches < 1 ? 1 : every_batches;
+        ckptSalt_ = salt;
+    }
+
+    /**
      * Tune the factor knobs while holding the structural knobs at the
      * values in `base` (a full choice vector; its factor entries seed
      * nothing — only structure is read).
@@ -101,6 +163,11 @@ class MctsTuner
     ThreadPool* pool_ = nullptr;
     EvalCache* cache_ = nullptr;
     int batch_ = 1;
+    const StopControl* stop_ = nullptr;
+    std::atomic<int64_t>* globalEvals_ = nullptr;
+    std::string ckptPath_;
+    int ckptEvery_ = 1;
+    uint64_t ckptSalt_ = 0;
 };
 
 } // namespace tileflow
