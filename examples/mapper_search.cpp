@@ -7,6 +7,14 @@
  *
  * Usage: mapper_search [attention-shape] [rounds]
  *            [--time-budget-ms N] [--max-evals N] [--checkpoint PATH]
+ *            [--arch FILE] [--workload FILE]
+ *
+ * --arch loads an architecture spec (see examples/specs/) instead of
+ * the built-in Edge preset. --workload loads a workload spec instead
+ * of the named attention shape; the workload must
+ * declare dims b, h, m, l for the attention mapping space (and n, k
+ * for the reference-dataflow comparison, which is skipped when the
+ * workload's structure doesn't fit).
  *
  * With --checkpoint, an interrupted run (budget hit, ^C and rerun, a
  * crash) resumes from PATH bit-identically. Set the environment
@@ -20,8 +28,10 @@
 #include <string>
 
 #include "arch/presets.hpp"
+#include "common/logging.hpp"
 #include "core/notation.hpp"
 #include "dataflows/attention.hpp"
+#include "frontend/loader.hpp"
 #include "ir/shapes.hpp"
 #include "mapper/mapper.hpp"
 
@@ -31,6 +41,8 @@ int
 main(int argc, char** argv)
 {
     std::string name = "Bert-S";
+    std::string arch_path;
+    std::string workload_path;
     MapperConfig cfg;
     cfg.population = 8;
     cfg.tilingSamples = 30;
@@ -52,6 +64,10 @@ main(int argc, char** argv)
             cfg.maxEvaluations = std::atoll(value());
         } else if (arg == "--checkpoint") {
             cfg.checkpointPath = value();
+        } else if (arg == "--arch") {
+            arch_path = value();
+        } else if (arg == "--workload") {
+            workload_path = value();
         } else if (positional == 0) {
             name = arg;
             ++positional;
@@ -65,59 +81,83 @@ main(int argc, char** argv)
         }
     }
 
-    const AttentionShape& shape = attentionShape(name);
-    const Workload workload = buildAttention(shape, false);
-    const ArchSpec edge = makeEdgeArch();
-    const Evaluator model(workload, edge);
+    try {
+        const Workload workload =
+            workload_path.empty()
+                ? buildAttention(attentionShape(name), false)
+                : loadWorkloadSpecOrDie(workload_path);
+        const ArchSpec arch = arch_path.empty()
+                                  ? makeEdgeArch()
+                                  : loadArchSpecOrDie(arch_path);
+        const Evaluator model(workload, arch);
+        const std::string label =
+            workload_path.empty() ? name : workload.name();
 
-    const MappingSpace space = makeAttentionSpace(workload, edge);
-    std::printf("exploring %s on Edge: %lld structural configs x %lld "
-                "tilings\n",
-                name.c_str(), (long long)space.structuralSpaceSize(),
-                (long long)space.factorSpaceSize());
+        const MappingSpace space = makeAttentionSpace(workload, arch);
+        std::printf("exploring %s on %s: %lld structural configs x "
+                    "%lld tilings\n",
+                    label.c_str(), arch.name().c_str(),
+                    (long long)space.structuralSpaceSize(),
+                    (long long)space.factorSpaceSize());
 
-    const MapperResult result = exploreSpace(model, space, cfg);
+        const MapperResult result = exploreSpace(model, space, cfg);
 
-    if (result.resumed)
-        std::printf("resumed from checkpoint '%s'\n",
-                    cfg.checkpointPath.c_str());
-    if (result.timedOut)
-        std::printf("stopped early (%s); reporting best-so-far\n",
-                    result.stopReason.c_str());
-    if (result.failedEvaluations > 0) {
-        std::printf("%llu failed evaluations survived:\n",
-                    (unsigned long long)result.failedEvaluations);
-        for (const auto& [reason, count] : result.failureHistogram)
-            std::printf("  %6llu x %s\n", (unsigned long long)count,
-                        reason.c_str());
-    }
+        if (result.resumed)
+            std::printf("resumed from checkpoint '%s'\n",
+                        cfg.checkpointPath.c_str());
+        if (result.timedOut)
+            std::printf("stopped early (%s); reporting best-so-far\n",
+                        result.stopReason.c_str());
+        if (result.failedEvaluations > 0) {
+            std::printf("%llu failed evaluations survived:\n",
+                        (unsigned long long)result.failedEvaluations);
+            for (const auto& [reason, count] : result.failureHistogram)
+                std::printf("  %6llu x %s\n",
+                            (unsigned long long)count, reason.c_str());
+        }
 
-    std::printf("convergence (best cycles per round):");
-    for (double c : result.trace)
-        std::printf(" %.3g", c);
-    std::printf("\n");
+        std::printf("convergence (best cycles per round):");
+        for (double c : result.trace)
+            std::printf(" %.3g", c);
+        std::printf("\n");
 
-    if (!result.found) {
-        std::printf("no valid mapping found\n");
-        // A budget stop without a mapping yet is expected, not failure.
-        return result.timedOut ? 0 : 1;
-    }
+        if (!result.found) {
+            std::printf("no valid mapping found\n");
+            // A budget stop without a mapping yet is expected, not
+            // failure.
+            return result.timedOut ? 0 : 1;
+        }
 
-    std::printf("\nbest mapping: %.0f cycles after %d evaluations\n",
-                result.bestCycles, result.evaluations);
-    std::printf("%s", printNotation(result.bestTree).c_str());
+        std::printf("\nbest mapping: %.0f cycles after %d "
+                    "evaluations\n",
+                    result.bestCycles, result.evaluations);
+        std::printf("%s", printNotation(result.bestTree).c_str());
 
-    // Compare against the canned reference dataflows.
-    for (AttentionDataflow df : {AttentionDataflow::Layerwise,
-                                 AttentionDataflow::FlatHGran,
-                                 AttentionDataflow::TileFlowDF}) {
-        const EvalResult r = model.evaluate(
-            buildAttentionDataflow(workload, edge, df));
-        if (r.valid) {
-            std::printf("reference %-12s: %.0f cycles (%.2fx of best)\n",
+        // Compare against the canned reference dataflows. A custom
+        // workload may lack the op structure they assume; skip the
+        // comparison rather than die after a successful search.
+        for (AttentionDataflow df : {AttentionDataflow::Layerwise,
+                                     AttentionDataflow::FlatHGran,
+                                     AttentionDataflow::TileFlowDF}) {
+            try {
+                const EvalResult r = model.evaluate(
+                    buildAttentionDataflow(workload, arch, df));
+                if (r.valid) {
+                    std::printf(
+                        "reference %-12s: %.0f cycles (%.2fx of "
+                        "best)\n",
                         attentionDataflowName(df).c_str(), r.cycles,
                         r.cycles / result.bestCycles);
+                }
+            } catch (const FatalError&) {
+                std::printf("reference %-12s: not applicable to this "
+                            "workload\n",
+                            attentionDataflowName(df).c_str());
+            }
         }
+        return 0;
+    } catch (const FatalError& err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 1;
     }
-    return 0;
 }

@@ -6,38 +6,59 @@
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * By default this evaluates a built-in 256^3 matmul; any piece can be
+ * swapped for a text spec (see examples/specs/ and README):
+ *   quickstart --arch examples/specs/tpu_like.arch \
+ *              --workload examples/specs/fig4.wl \
+ *              --mapping examples/specs/fig4.map
+ * Malformed specs exit with a rendered diagnostic report (error code,
+ * line:col, caret snippet) instead of a crash.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "analysis/evaluator.hpp"
 #include "arch/presets.hpp"
+#include "common/logging.hpp"
 #include "core/notation.hpp"
 #include "core/validate.hpp"
+#include "frontend/loader.hpp"
 #include "ir/builders.hpp"
 
 using namespace tileflow;
 
-int
-main()
-{
-    // 1. A workload: C[i,j] += A[i,k] * B[k,j], 256^3.
-    const Workload workload = buildMatmul("example", 256, 256, 256);
+namespace {
 
-    // 2. An architecture: the paper's TPU-derived validation
-    //    accelerator (4 cores, 16x16 PEs, 384KB L1, 25.6GB/s DRAM).
-    const ArchSpec spec = makeValidationArch();
+int
+run(const std::string& arch_path, const std::string& workload_path,
+    const std::string& mapping_path)
+{
+    // 1. A workload: from --workload, or the built-in matmul
+    //    C[i,j] += A[i,k] * B[k,j], 256^3.
+    const Workload workload =
+        workload_path.empty() ? buildMatmul("example", 256, 256, 256)
+                              : loadWorkloadSpecOrDie(workload_path);
+
+    // 2. An architecture: from --arch, or the paper's TPU-derived
+    //    validation accelerator (4 cores, 16x16 PEs, 384KB L1).
+    const ArchSpec spec = arch_path.empty() ? makeValidationArch()
+                                            : loadArchSpecOrDie(arch_path);
     std::printf("%s\n", spec.str().c_str());
 
-    // 3. A mapping in the tile-centric notation: DRAM-level tiles of
-    //    64x64, the reduction innermost, spatial 16x16 at the PE array.
-    const AnalysisTree tree = parseNotation(workload, R"(
+    // 3. A mapping in the tile-centric notation: from --mapping, or a
+    //    built-in nest for the matmul (DRAM tiles of 64x64, reduction
+    //    innermost, spatial 16x16 at the PE array).
+    const AnalysisTree tree =
+        mapping_path.empty() ? parseNotation(workload, R"(
         tile @L2 [i:s4, i:t1, j:t4, k:t4] {
           tile @L1 [i:t4, j:t4, k:t4] {
             tile @L0 [i:s16, j:s16, k:t16] { op matmul }
           }
         }
-    )");
+    )")
+                             : loadMappingOrDie(workload, mapping_path);
     checkTree(tree, &spec);
     std::printf("mapping:\n%s\n", printNotation(tree).c_str());
 
@@ -50,4 +71,49 @@ main()
                 (long long)result.resources.footprintBytes[0],
                 (long long)result.resources.footprintBytes[1]);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string arch_path;
+    std::string workload_path;
+    std::string mapping_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--arch") {
+            arch_path = value();
+        } else if (arg == "--workload") {
+            workload_path = value();
+        } else if (arg == "--mapping") {
+            mapping_path = value();
+        } else {
+            std::fprintf(stderr,
+                         "usage: quickstart [--arch FILE] "
+                         "[--workload FILE] [--mapping FILE]\n");
+            return 2;
+        }
+    }
+    if (!workload_path.empty() && mapping_path.empty()) {
+        std::fprintf(stderr,
+                     "--workload needs --mapping (the built-in "
+                     "mapping only fits the built-in matmul)\n");
+        return 2;
+    }
+    try {
+        return run(arch_path, workload_path, mapping_path);
+    } catch (const FatalError& err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 1;
+    }
 }

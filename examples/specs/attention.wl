@@ -1,0 +1,38 @@
+# Single-head-group attention block (Sec. 7 workloads): S = Q x K,
+# P = softmax(S), O = P x V. Sized small enough for quick smoke runs.
+workload "attention" {
+  dim b 1
+  dim h 4
+  dim m 64
+  dim l 64
+  dim n 16
+  dim k 16
+
+  tensor Q [b, h, m, k]
+  tensor K [b, h, k, l]
+  tensor S [b, h, m, l]
+  tensor P [b, h, m, l]
+  tensor V [b, h, l, n]
+  tensor O [b, h, m, n]
+
+  op QK matrix {
+    dims b, h, m, l
+    reduce k
+    read Q [b, h, m, k]
+    read K [b, h, k, l]
+    write S [b, h, m, l] accumulate
+  }
+  op softmax vector {
+    dims b, h, m, l
+    ops_per_point 4
+    read S [b, h, m, l]
+    write P [b, h, m, l]
+  }
+  op PV matrix {
+    dims b, h, m, n
+    reduce l
+    read P [b, h, m, l]
+    read V [b, h, l, n]
+    write O [b, h, m, n] accumulate
+  }
+}

@@ -1,0 +1,37 @@
+# Two chained 3x3 convolutions with halo reads: conv1 produces the
+# activation conv2 consumes, over-producing the u/v halo ring
+# (shape expressions like `h1 + r - 1` size the halos).
+workload "conv-chain" {
+  dim h1 34
+  dim w1 34
+  dim c 16
+  dim l 16
+  dim r 3
+  dim s 3
+  dim h 32
+  dim w 32
+  dim k2 16
+  dim u 3
+  dim v 3
+
+  tensor Im  [h1 + r - 1, w1 + s - 1, c]
+  tensor W1  [r, s, c, l]
+  tensor Act [h1, w1, l]
+  tensor W2  [u, v, l, k2]
+  tensor Out [h, w, k2]
+
+  op conv1 matrix {
+    dims h1, w1, l
+    reduce r, s, c
+    read Im [h1 + r, w1 + s, c]
+    read W1 [r, s, c, l]
+    write Act [h1, w1, l] accumulate
+  }
+  op conv2 matrix {
+    dims h, w, k2
+    reduce u, v, l
+    read Act [h + u, w + v, l]
+    read W2 [u, v, l, k2]
+    write Out [h, w, k2] accumulate
+  }
+}

@@ -1,0 +1,38 @@
+# The paper's Fig. 4 running example: a fused chain
+#   A = Q x K   (matrix, reduces k)
+#   B = exp(A)  (vector, elementwise)
+#   C = B x V   (matrix, reduces l)
+# All three ops share the i and l dims, which is what fusion exploits.
+workload "fig4" {
+  dim i 128
+  dim j 256
+  dim l 128
+  dim k 64
+
+  tensor Q [i, k]
+  tensor K [k, l]
+  tensor A [i, l]
+  tensor B [i, l]
+  tensor V [l, j]
+  tensor C [i, j]
+
+  op A matrix {
+    dims i, l
+    reduce k
+    read Q [i, k]
+    read K [k, l]
+    write A [i, l] accumulate
+  }
+  op B vector {
+    dims i, l
+    read A [i, l]
+    write B [i, l]
+  }
+  op C matrix {
+    dims i, j
+    reduce l
+    read B [i, l]
+    read V [l, j]
+    write C [i, j] accumulate
+  }
+}

@@ -1,0 +1,159 @@
+#include "common/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** Widest snippet we render; longer lines are windowed around the
+ *  caret so adversarial one-line megabyte inputs stay cheap. */
+constexpr size_t kMaxSnippetWidth = 96;
+
+/** Replace non-printable bytes so control characters in malicious
+ *  input cannot corrupt the rendered report. */
+std::string
+sanitizeLine(const std::string& line)
+{
+    std::string out;
+    out.reserve(line.size());
+    for (char c : line) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (c == '\t')
+            out += ' ';
+        else if (u < 0x20 || u == 0x7f)
+            out += '?';
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Extract 1-based line `line` from `source` ("" when out of range). */
+std::string
+extractLine(const std::string& source, int line)
+{
+    size_t begin = 0;
+    for (int l = 1; l < line; ++l) {
+        const size_t nl = source.find('\n', begin);
+        if (nl == std::string::npos)
+            return "";
+        begin = nl + 1;
+    }
+    size_t end = source.find('\n', begin);
+    if (end == std::string::npos)
+        end = source.size();
+    if (begin > source.size())
+        return "";
+    return source.substr(begin, end - begin);
+}
+
+} // namespace
+
+std::string
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+renderDiagnostic(const Diagnostic& diag, const std::string& source,
+                 const std::string& source_name)
+{
+    std::ostringstream os;
+    os << source_name;
+    if (diag.loc.valid())
+        os << ":" << diag.loc.line << ":" << diag.loc.col;
+    os << ": " << severityName(diag.severity) << "[" << diag.code
+       << "]: " << diag.message << "\n";
+
+    if (!diag.loc.valid())
+        return os.str();
+    const std::string raw = extractLine(source, diag.loc.line);
+    if (raw.empty())
+        return os.str();
+
+    // Window long lines around the caret column.
+    const size_t col = size_t(std::max(diag.loc.col, 1));
+    size_t begin = 0;
+    if (col > kMaxSnippetWidth / 2)
+        begin = col - kMaxSnippetWidth / 2;
+    begin = std::min(begin, raw.size());
+    std::string snippet =
+        sanitizeLine(raw.substr(begin, kMaxSnippetWidth));
+    os << "    " << snippet;
+    if (begin + kMaxSnippetWidth < raw.size())
+        os << "...";
+    os << "\n";
+
+    // Caret under the offending column when it falls in the window.
+    const size_t caret = col - 1;
+    if (caret >= begin && caret - begin <= snippet.size()) {
+        os << "    " << std::string(caret - begin, ' ') << "^\n";
+    }
+    return os.str();
+}
+
+void
+DiagnosticEngine::report(Severity severity, std::string code,
+                         SourceLoc loc, std::string message)
+{
+    if (severity == Severity::Error)
+        ++errors_;
+    else if (severity == Severity::Warning)
+        ++warnings_;
+    if (diags_.size() >= maxDiagnostics_) {
+        ++suppressed_;
+        return;
+    }
+    diags_.push_back(Diagnostic{severity, std::move(code), loc,
+                                std::move(message)});
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diags_.clear();
+    errors_ = 0;
+    warnings_ = 0;
+    suppressed_ = 0;
+}
+
+std::string
+DiagnosticEngine::summary() const
+{
+    std::ostringstream os;
+    os << errors_ << (errors_ == 1 ? " error" : " errors");
+    if (warnings_ > 0) {
+        os << ", " << warnings_
+           << (warnings_ == 1 ? " warning" : " warnings");
+    }
+    return os.str();
+}
+
+std::string
+DiagnosticEngine::render(const std::string& source,
+                         const std::string& source_name) const
+{
+    std::string out;
+    for (const Diagnostic& diag : diags_)
+        out += renderDiagnostic(diag, source, source_name);
+    if (suppressed_ > 0) {
+        out += concat(source_name, ": note: ", suppressed_,
+                      " further diagnostics suppressed\n");
+    }
+    return out;
+}
+
+} // namespace tileflow

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Structured diagnostics for the spec front end.
+ *
+ * The text loaders (core/notation.hpp, frontend/) report problems in
+ * untrusted input as Diagnostic records — severity, stable error code,
+ * source location, message — collected by a DiagnosticEngine instead of
+ * throwing on the first error. One parse pass over a malformed spec
+ * yields *all* of its errors, each with a line:col location, and the
+ * engine renders clang-style caret snippets against the source text:
+ *
+ *   specs/fig4.map:2:15: error[S201]: unknown dim 'zz'
+ *       tile @L1 [zz:t4] {
+ *                 ^
+ *
+ * Error-code taxonomy (see DESIGN.md §9 for the full contract):
+ *   L0xx  lexical (bad literal, unterminated string, input too large)
+ *   P1xx  structural parse (unexpected token, missing brace, caps)
+ *   S2xx  semantic resolution in mappings (unknown dim/op, bad extent)
+ *   V3xx  analysis-tree validation (core/validate.hpp)
+ *   A4xx  architecture-spec semantics (frontend/archspec.hpp)
+ *   W5xx  workload-spec semantics (frontend/workloadspec.hpp)
+ *   F6xx  file loading (frontend/loader.hpp)
+ *
+ * The engine itself never throws; legacy fatal()-based entry points are
+ * thin wrappers that render the collected diagnostics into the
+ * FatalError message.
+ */
+
+#ifndef TILEFLOW_COMMON_DIAG_HPP
+#define TILEFLOW_COMMON_DIAG_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tileflow {
+
+/** Diagnostic severity; errors make the parse result unusable. */
+enum class Severity { Note, Warning, Error };
+
+std::string severityName(Severity severity);
+
+/** 1-based source position; line 0 means "no location". */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+
+    bool valid() const { return line > 0; }
+};
+
+/** One reported problem. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    std::string code;
+    SourceLoc loc;
+    std::string message;
+};
+
+/** Render one diagnostic as "name:line:col: severity[code]: message"
+ *  plus a caret snippet when `source` contains the referenced line. */
+std::string renderDiagnostic(const Diagnostic& diag,
+                             const std::string& source,
+                             const std::string& source_name);
+
+/**
+ * Collects diagnostics during one parse/validation pass.
+ *
+ * Storage is capped (default 64 records) so adversarial input cannot
+ * grow memory without bound; counts stay exact and render() notes how
+ * many records were suppressed.
+ */
+class DiagnosticEngine
+{
+  public:
+    explicit DiagnosticEngine(size_t max_diagnostics = 64)
+        : maxDiagnostics_(max_diagnostics)
+    {
+    }
+
+    void report(Severity severity, std::string code, SourceLoc loc,
+                std::string message);
+
+    void error(std::string code, SourceLoc loc, std::string message)
+    {
+        report(Severity::Error, std::move(code), loc, std::move(message));
+    }
+
+    void warning(std::string code, SourceLoc loc, std::string message)
+    {
+        report(Severity::Warning, std::move(code), loc,
+               std::move(message));
+    }
+
+    void note(std::string code, SourceLoc loc, std::string message)
+    {
+        report(Severity::Note, std::move(code), loc, std::move(message));
+    }
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+    size_t errorCount() const { return errors_; }
+    size_t warningCount() const { return warnings_; }
+    bool hasErrors() const { return errors_ > 0; }
+
+    /** True once reports were dropped because the cap was hit. */
+    bool truncated() const { return suppressed_ > 0; }
+
+    void clear();
+
+    /** "2 errors, 1 warning" (counts include suppressed records). */
+    std::string summary() const;
+
+    /** Render every stored diagnostic with caret snippets against the
+     *  source text this pass consumed. */
+    std::string render(const std::string& source,
+                       const std::string& source_name = "<spec>") const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t maxDiagnostics_;
+    size_t errors_ = 0;
+    size_t warnings_ = 0;
+    size_t suppressed_ = 0;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_COMMON_DIAG_HPP

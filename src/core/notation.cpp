@@ -1,6 +1,5 @@
 #include "core/notation.hpp"
 
-#include <cctype>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -9,202 +8,331 @@ namespace tileflow {
 
 namespace {
 
-/** Token stream over the notation text. */
-class Lexer
-{
-  public:
-    explicit Lexer(const std::string& text) : text_(text) {}
-
-    /** Peek the next token without consuming it. */
-    std::string
-    peek()
-    {
-        const size_t saved = pos_;
-        std::string tok = next();
-        pos_ = saved;
-        return tok;
-    }
-
-    /** Consume and return the next token ("" at end of input). */
-    std::string
-    next()
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            return "";
-        const char c = text_[pos_];
-        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-            c == '@' || c == '/' || c == '-' || c == '.') {
-            size_t begin = pos_;
-            while (pos_ < text_.size() && isWordChar(text_[pos_]))
-                ++pos_;
-            return text_.substr(begin, pos_ - begin);
-        }
-        ++pos_;
-        return std::string(1, c);
-    }
-
-    /** Consume a token and require it to equal `expected`. */
-    void
-    expect(const std::string& expected)
-    {
-        const std::string tok = next();
-        if (tok != expected)
-            fatal("notation parse error: expected '", expected, "', got '",
-                  tok, "'");
-    }
-
-    bool atEnd()
-    {
-        skipSpace();
-        return pos_ >= text_.size();
-    }
-
-  private:
-    static bool
-    isWordChar(char c)
-    {
-        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-               c == '@' || c == '/' || c == '-' || c == '.';
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_];
-            if (c == '#') {
-                while (pos_ < text_.size() && text_[pos_] != '\n')
-                    ++pos_;
-            } else if (std::isspace(static_cast<unsigned char>(c))) {
-                ++pos_;
-            } else {
-                break;
-            }
-        }
-    }
-
-    const std::string& text_;
-    size_t pos_ = 0;
-};
-
-int64_t
-parseInt(const std::string& tok, const std::string& what)
-{
-    if (tok.empty())
-        fatal("notation parse error: expected ", what);
-    for (char c : tok) {
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            fatal("notation parse error: expected integer ", what,
-                  ", got '", tok, "'");
-    }
-    return std::stoll(tok);
-}
-
+/**
+ * Recursive-descent parser with error recovery: a malformed loop
+ * synchronizes at the next ','/']' and a malformed node at the next
+ * node head or '}', so one pass reports every independent error with
+ * its location. Resource caps (nesting depth, node count, extent
+ * magnitude) turn adversarial input into diagnostics instead of
+ * unbounded recursion/allocation or integer overflow.
+ */
 class Parser
 {
   public:
-    Parser(const Workload& workload, const std::string& text)
-        : workload_(workload), lex_(text)
+    Parser(const Workload& workload, const std::string& text,
+           DiagnosticEngine& diags, const ParseLimits& limits)
+        : workload_(workload),
+          diags_(diags),
+          limits_(limits),
+          lex_(text, diags, limits)
     {
     }
 
     std::unique_ptr<Node>
-    parseNode()
+    parseDocument()
     {
-        const std::string head = lex_.next();
-        if (head == "tile")
-            return parseTile();
-        if (head == "op")
-            return parseOp();
-        if (head == "seq" || head == "shar" || head == "para" ||
-            head == "pipe") {
-            return parseScope(parseScopeKind(head));
+        auto root = parseNode(0);
+        if (!stop_ && !lex_.atEnd() && !diags_.hasErrors()) {
+            diags_.error("P104", lex_.loc(),
+                         "trailing input after root node");
         }
-        fatal("notation parse error: unexpected token '", head, "'");
+        return root;
     }
-
-    bool atEnd() { return lex_.atEnd(); }
 
   private:
-    std::unique_ptr<Node>
-    parseTile()
+    static std::string
+    describe(const Token& tok)
     {
-        const std::string level_tok = lex_.next();
-        if (level_tok.size() < 3 || level_tok[0] != '@' ||
-            level_tok[1] != 'L') {
-            fatal("notation parse error: expected '@L<n>' after 'tile', "
-                  "got '", level_tok, "'");
-        }
-        const int level =
-            int(parseInt(level_tok.substr(2), "memory level"));
+        return tok.isEnd() ? "end of input" : quoted(tok.text);
+    }
 
-        lex_.expect("[");
-        std::vector<Loop> loops;
-        if (lex_.peek() != "]") {
-            while (true) {
-                loops.push_back(parseLoop());
-                const std::string sep = lex_.next();
-                if (sep == "]")
-                    break;
-                if (sep != ",")
-                    fatal("notation parse error: expected ',' or ']' in "
-                          "loop list, got '", sep, "'");
+    static bool
+    isNodeHead(const Token& tok)
+    {
+        return tok.kind == TokenKind::Word &&
+               (tok.is("tile") || tok.is("op") || tok.is("seq") ||
+                tok.is("shar") || tok.is("para") || tok.is("pipe"));
+    }
+
+    /** Count one tree node against the cap; false aborts the parse. */
+    bool
+    countNode()
+    {
+        if (++nodes_ > limits_.maxNodes) {
+            if (!stop_) {
+                diags_.error("P106", lex_.loc(),
+                             concat("mapping exceeds the limit of ",
+                                    limits_.maxNodes, " nodes"));
+            }
+            stop_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::unique_ptr<Node>
+    parseNode(int depth)
+    {
+        if (stop_)
+            return nullptr;
+        if (depth > limits_.maxNestingDepth) {
+            diags_.error("P105", lex_.loc(),
+                         concat("nesting exceeds the depth limit of ",
+                                limits_.maxNestingDepth));
+            stop_ = true;
+            return nullptr;
+        }
+        const Token head = lex_.next();
+        if (head.is("tile"))
+            return parseTile(depth);
+        if (head.is("op"))
+            return parseOp();
+        if (head.is("seq") || head.is("shar") || head.is("para") ||
+            head.is("pipe")) {
+            return parseScope(parseScopeKind(head.text), depth);
+        }
+        diags_.error("P101", head.loc,
+                     concat("expected 'tile', 'op' or a scope kind "
+                            "(seq/shar/para/pipe), got ",
+                            describe(head)));
+        return nullptr;
+    }
+
+    std::unique_ptr<Node>
+    parseTile(int depth)
+    {
+        if (!countNode())
+            return nullptr;
+        auto node = Node::makeTile(0, {});
+
+        const Token level = lex_.peek();
+        if (level.kind == TokenKind::Word && level.text.size() >= 3 &&
+            level.text[0] == '@' && level.text[1] == 'L') {
+            lex_.next();
+            int64_t value = 0;
+            if (parseIntChecked(level.text.substr(2), value) &&
+                value <= 1024) {
+                node->setMemLevel(int(value));
+            } else {
+                diags_.error("S204", level.loc,
+                             concat("memory level ", quoted(level.text),
+                                    " is not a valid '@L<n>'"));
             }
         } else {
-            lex_.expect("]");
+            diags_.error("S204", level.loc,
+                         concat("expected '@L<n>' after 'tile', got ",
+                                describe(level)));
+            // Consume the stray token unless it can open the loop
+            // list / child block the tile still needs.
+            if (!level.isEnd() && !level.isPunct('[') &&
+                !level.isPunct('{') && !level.isPunct('}')) {
+                lex_.next();
+            }
         }
 
-        auto node = Node::makeTile(level, std::move(loops));
-        parseChildren(node.get());
+        if (lex_.peek().isPunct('[')) {
+            lex_.next();
+            parseLoopList(node.get());
+        } else {
+            diags_.error("P102", lex_.loc(),
+                         concat("expected '[' after the tile level, "
+                                "got ",
+                                describe(lex_.peek())));
+        }
+        parseChildren(node.get(), depth);
         return node;
     }
 
-    Loop
-    parseLoop()
+    void
+    parseLoopList(Node* node)
     {
-        const std::string dim_name = lex_.next();
-        lex_.expect(":");
-        const std::string spec = lex_.next();
-        if (spec.size() < 2 || (spec[0] != 't' && spec[0] != 's'))
-            fatal("notation parse error: loop spec must be t<N> or s<N>, "
-                  "got '", spec, "'");
-        Loop loop;
-        loop.dim = workload_.dimId(dim_name);
-        loop.kind = spec[0] == 's' ? LoopKind::Spatial : LoopKind::Temporal;
-        loop.extent = parseInt(spec.substr(1), "loop extent");
-        return loop;
+        if (lex_.peek().isPunct(']')) {
+            lex_.next();
+            return;
+        }
+        while (!stop_) {
+            Loop loop;
+            if (parseLoop(loop))
+                node->loops().push_back(loop);
+            else
+                syncLoop();
+            const Token sep = lex_.peek();
+            if (sep.isPunct(',')) {
+                lex_.next();
+                continue;
+            }
+            if (sep.isPunct(']')) {
+                lex_.next();
+                return;
+            }
+            if (sep.isEnd() || sep.isPunct('{') || sep.isPunct('}')) {
+                diags_.error("P103", sep.loc,
+                             "missing ']' closing the loop list");
+                return;
+            }
+            diags_.error("P102", sep.loc,
+                         concat("expected ',' or ']' in loop list, "
+                                "got ",
+                                describe(sep)));
+            lex_.next();
+        }
+    }
+
+    /** Parse one `dim:tN|sN` entry; false asks the caller to resync. */
+    bool
+    parseLoop(Loop& out)
+    {
+        const Token dim = lex_.peek();
+        if (dim.kind != TokenKind::Word) {
+            diags_.error("P102", dim.loc,
+                         concat("expected a dim name in loop list, "
+                                "got ",
+                                describe(dim)));
+            return false;
+        }
+        lex_.next();
+        bool ok = true;
+        out.dim = workload_.findDim(dim.text);
+        if (out.dim < 0) {
+            diags_.error("S201", dim.loc,
+                         concat("unknown dim ", quoted(dim.text)));
+            ok = false;
+        }
+        if (!lex_.peek().isPunct(':')) {
+            diags_.error("P102", lex_.loc(),
+                         concat("expected ':' after dim '", dim.text,
+                                "', got ", describe(lex_.peek())));
+            return false;
+        }
+        lex_.next();
+        const Token spec = lex_.peek();
+        if (spec.kind != TokenKind::Word || spec.text.size() < 2 ||
+            (spec.text[0] != 't' && spec.text[0] != 's')) {
+            diags_.error("S203", spec.loc,
+                         concat("loop spec must be t<N> or s<N>, got ",
+                                describe(spec)));
+            return false;
+        }
+        lex_.next();
+        int64_t extent = 0;
+        if (!parseIntChecked(spec.text.substr(1), extent)) {
+            diags_.error("S205", spec.loc,
+                         concat("loop extent in ", quoted(spec.text),
+                                " is not a representable integer"));
+            return false;
+        }
+        if (extent < 1 || extent > limits_.maxExtent) {
+            diags_.error("S205", spec.loc,
+                         concat("loop extent ", extent,
+                                " is outside [1, ", limits_.maxExtent,
+                                "]"));
+            return false;
+        }
+        out.kind = spec.text[0] == 's' ? LoopKind::Spatial
+                                       : LoopKind::Temporal;
+        out.extent = extent;
+        return ok;
     }
 
     std::unique_ptr<Node>
-    parseScope(ScopeKind kind)
+    parseScope(ScopeKind kind, int depth)
     {
+        if (!countNode())
+            return nullptr;
         auto node = Node::makeScope(kind);
-        parseChildren(node.get());
+        parseChildren(node.get(), depth);
         return node;
     }
 
     std::unique_ptr<Node>
     parseOp()
     {
-        const std::string name = lex_.next();
-        return Node::makeOp(workload_.opId(name));
+        if (!countNode())
+            return nullptr;
+        const Token name = lex_.peek();
+        if (name.kind != TokenKind::Word) {
+            diags_.error("P102", name.loc,
+                         concat("expected an op name after 'op', got ",
+                                describe(name)));
+            return nullptr;
+        }
+        lex_.next();
+        const OpId op = workload_.findOp(name.text);
+        if (op < 0) {
+            diags_.error("S202", name.loc,
+                         concat("unknown op ", quoted(name.text)));
+        }
+        return Node::makeOp(op);
     }
 
     void
-    parseChildren(Node* node)
+    parseChildren(Node* node, int depth)
     {
-        lex_.expect("{");
-        while (lex_.peek() != "}") {
-            if (lex_.atEnd())
-                fatal("notation parse error: missing '}'");
-            node->addChild(parseNode());
+        const Token open = lex_.peek();
+        if (!open.isPunct('{')) {
+            diags_.error("P102", open.loc,
+                         concat("expected '{', got ", describe(open)));
+            return;
         }
-        lex_.expect("}");
+        lex_.next();
+        while (!stop_) {
+            const Token tok = lex_.peek();
+            if (tok.isPunct('}')) {
+                lex_.next();
+                return;
+            }
+            if (tok.isEnd()) {
+                diags_.error("P103", tok.loc, "missing '}'");
+                return;
+            }
+            auto child = parseNode(depth + 1);
+            if (child)
+                node->addChild(std::move(child));
+            else if (!stop_)
+                syncNode();
+        }
+    }
+
+    /** Skip to the next plausible node start at the current brace
+     *  depth (or to the enclosing '}' / end of input). */
+    void
+    syncNode()
+    {
+        int depth = 0;
+        while (true) {
+            const Token& tok = lex_.peek();
+            if (tok.isEnd())
+                return;
+            if (depth == 0 && (isNodeHead(tok) || tok.isPunct('}')))
+                return;
+            if (tok.isPunct('{'))
+                ++depth;
+            else if (tok.isPunct('}'))
+                --depth;
+            lex_.next();
+        }
+    }
+
+    /** Skip to the next loop-list boundary. */
+    void
+    syncLoop()
+    {
+        while (true) {
+            const Token& tok = lex_.peek();
+            if (tok.isEnd() || tok.isPunct(',') || tok.isPunct(']') ||
+                tok.isPunct('{') || tok.isPunct('}')) {
+                return;
+            }
+            lex_.next();
+        }
     }
 
     const Workload& workload_;
-    Lexer lex_;
+    DiagnosticEngine& diags_;
+    const ParseLimits& limits_;
+    SpecLexer lex_;
+    int64_t nodes_ = 0;
+    bool stop_ = false;
 };
 
 void
@@ -240,15 +368,29 @@ printNode(const Workload& workload, const Node* node, int indent,
 
 } // namespace
 
+std::optional<AnalysisTree>
+parseNotationDiag(const Workload& workload, const std::string& text,
+                  DiagnosticEngine& diags, const ParseLimits& limits)
+{
+    Parser parser(workload, text, diags, limits);
+    auto root = parser.parseDocument();
+    if (!root || diags.hasErrors())
+        return std::nullopt;
+    AnalysisTree tree(workload);
+    tree.setRoot(std::move(root));
+    return tree;
+}
+
 AnalysisTree
 parseNotation(const Workload& workload, const std::string& text)
 {
-    Parser parser(workload, text);
-    AnalysisTree tree(workload);
-    tree.setRoot(parser.parseNode());
-    if (!parser.atEnd())
-        fatal("notation parse error: trailing input after root node");
-    return tree;
+    DiagnosticEngine diags;
+    auto tree = parseNotationDiag(workload, text, diags);
+    if (!tree) {
+        fatal("notation parse error (", diags.summary(), "):\n",
+              diags.render(text, "<notation>"));
+    }
+    return std::move(*tree);
 }
 
 std::string

@@ -26,21 +26,46 @@
  *       }
  *     }
  *   }
+ *
+ * Two entry points parse it:
+ *
+ *  - parseNotationDiag() is the untrusted-input front end: it collects
+ *    *all* problems as located Diagnostics in one pass (recovering at
+ *    ','/']'/'}' boundaries), enforces the ParseLimits resource caps
+ *    (nesting depth, node count, extent magnitude with checked
+ *    arithmetic), and never throws.
+ *  - parseNotation() is the legacy strict wrapper: it throws FatalError
+ *    carrying the rendered diagnostics when the text has any error.
  */
 
 #ifndef TILEFLOW_CORE_NOTATION_HPP
 #define TILEFLOW_CORE_NOTATION_HPP
 
+#include <optional>
 #include <string>
 
+#include "common/diag.hpp"
 #include "core/tree.hpp"
+#include "frontend/lexer.hpp"
 
 namespace tileflow {
 
 /**
+ * Parse a tile-centric notation string, reporting every problem to
+ * `diags` with source locations. Returns the tree when the text parsed
+ * without errors, std::nullopt otherwise (the pass still reports all
+ * errors it can recover to). Never throws on malformed input.
+ */
+std::optional<AnalysisTree>
+parseNotationDiag(const Workload& workload, const std::string& text,
+                  DiagnosticEngine& diags,
+                  const ParseLimits& limits = {});
+
+/**
  * Parse a tile-centric notation string into an analysis tree over the
  * given workload. Dim and op names must exist in the workload;
- * malformed input raises fatal().
+ * malformed input raises fatal() with every collected diagnostic in
+ * the message. Thin wrapper over parseNotationDiag().
  */
 AnalysisTree parseNotation(const Workload& workload,
                            const std::string& text);

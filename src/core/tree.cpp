@@ -1,5 +1,7 @@
 #include "core/tree.hpp"
 
+#include <limits>
+
 #include "common/logging.hpp"
 
 namespace tileflow {
@@ -26,6 +28,21 @@ AnalysisTree::str() const
     return root_ ? root_->str() : std::string("(empty tree)\n");
 }
 
+namespace {
+
+/** a * b clamped to int64 max — spans of adversarially large (but
+ *  individually representable) loop extents must saturate, not wrap. */
+int64_t
+mulSat(int64_t a, int64_t b)
+{
+    const __int128 wide = __int128(a) * __int128(b);
+    if (wide > __int128(std::numeric_limits<int64_t>::max()))
+        return std::numeric_limits<int64_t>::max();
+    return int64_t(wide);
+}
+
+} // namespace
+
 int64_t
 pathSpan(const Node* subtree, const Node* leaf, DimId dim)
 {
@@ -37,7 +54,7 @@ pathSpan(const Node* subtree, const Node* leaf, DimId dim)
         if (cursor->isTile()) {
             for (const auto& loop : cursor->loops()) {
                 if (loop.dim == dim)
-                    span *= loop.extent;
+                    span = mulSat(span, loop.extent);
             }
         }
         if (cursor == subtree)
@@ -62,10 +79,55 @@ executionCount(const Node* node)
     int64_t count = 1;
     for (const Node* cursor = node->parent(); cursor != nullptr;
          cursor = cursor->parent()) {
-        if (cursor->isTile())
-            count *= cursor->temporalSteps() * cursor->spatialExtent();
+        if (cursor->isTile()) {
+            count = mulSat(count, mulSat(cursor->temporalSteps(),
+                                         cursor->spatialExtent()));
+        }
     }
     return count;
+}
+
+bool
+equalTrees(const Node* a, const Node* b)
+{
+    if (a == nullptr || b == nullptr)
+        return a == b;
+    if (a->type() != b->type() || a->numChildren() != b->numChildren())
+        return false;
+    switch (a->type()) {
+      case NodeType::Tile: {
+        if (a->memLevel() != b->memLevel() ||
+            a->loops().size() != b->loops().size()) {
+            return false;
+        }
+        for (size_t i = 0; i < a->loops().size(); ++i) {
+            const Loop& la = a->loops()[i];
+            const Loop& lb = b->loops()[i];
+            if (la.dim != lb.dim || la.kind != lb.kind ||
+                la.extent != lb.extent) {
+                return false;
+            }
+        }
+        break;
+      }
+      case NodeType::Scope:
+        if (a->scopeKind() != b->scopeKind())
+            return false;
+        break;
+      case NodeType::Op:
+        return a->op() == b->op();
+    }
+    for (size_t i = 0; i < a->numChildren(); ++i) {
+        if (!equalTrees(a->children()[i].get(), b->children()[i].get()))
+            return false;
+    }
+    return true;
+}
+
+bool
+equalTrees(const AnalysisTree& a, const AnalysisTree& b)
+{
+    return equalTrees(a.root(), b.root());
 }
 
 const Node*

@@ -76,6 +76,15 @@ const Node* enclosingTile(const Node* node);
 /** True iff `ancestor` is `node` or one of its ancestors. */
 bool isAncestorOf(const Node* ancestor, const Node* node);
 
+/**
+ * Structural equality: same node types, memory levels, loop lists
+ * (dim, kind, extent, order), op ids, scope kinds, and child shapes.
+ * The notation round-trip property parseNotation(printNotation(t)) == t
+ * is stated in terms of this.
+ */
+bool equalTrees(const Node* a, const Node* b);
+bool equalTrees(const AnalysisTree& a, const AnalysisTree& b);
+
 } // namespace tileflow
 
 #endif // TILEFLOW_CORE_TREE_HPP

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -10,76 +11,90 @@ namespace tileflow {
 
 namespace {
 
+/** Trees carry no source text, so every report is location-free. */
+constexpr SourceLoc kNoLoc{};
+
 void
 visit(const Workload& workload, const ArchSpec* spec, const Node* node,
-      int parent_level, std::vector<std::string>& problems)
+      int parent_level, DiagnosticEngine& diags)
 {
     switch (node->type()) {
       case NodeType::Tile: {
         const int level = node->memLevel();
         if (level < 0)
-            problems.push_back(
-                concat("tile has negative memory level ", level));
+            diags.error("V301", kNoLoc,
+                        concat("tile has negative memory level ", level));
         if (spec && level >= spec->numLevels())
-            problems.push_back(concat("tile level L", level,
-                                      " exceeds architecture hierarchy (",
-                                      spec->numLevels(), " levels)"));
+            diags.error("V301", kNoLoc,
+                        concat("tile level L", level,
+                               " exceeds architecture hierarchy (",
+                               spec->numLevels(), " levels)"));
         if (parent_level >= 0 && level > parent_level)
-            problems.push_back(concat("tile level L", level,
-                                      " is above its parent tile L",
-                                      parent_level));
+            diags.error("V301", kNoLoc,
+                        concat("tile level L", level,
+                               " is above its parent tile L",
+                               parent_level));
         std::set<std::pair<DimId, bool>> seen;
         for (const Loop& loop : node->loops()) {
-            if (loop.dim < 0 || size_t(loop.dim) >= workload.dims().size())
-                problems.push_back(
-                    concat("loop references unknown dim ", loop.dim));
+            if (loop.dim < 0 ||
+                size_t(loop.dim) >= workload.dims().size()) {
+                diags.error("V302", kNoLoc,
+                            concat("loop references unknown dim ",
+                                   loop.dim));
+                continue;
+            }
             if (loop.extent < 1)
-                problems.push_back(concat("loop over dim ", loop.dim,
-                                          " has extent ", loop.extent));
+                diags.error("V302", kNoLoc,
+                            concat("loop over dim ", loop.dim,
+                                   " has extent ", loop.extent));
             auto key = std::make_pair(loop.dim, loop.isSpatial());
             if (!seen.insert(key).second)
-                problems.push_back(concat(
-                    "dim '", workload.dim(loop.dim).name,
-                    "' appears twice with the same kind in one tile"));
+                diags.error("V302", kNoLoc,
+                            concat("dim '", workload.dim(loop.dim).name,
+                                   "' appears twice with the same kind "
+                                   "in one tile"));
         }
         if (node->numChildren() == 0)
-            problems.push_back("tile node has no children");
+            diags.error("V301", kNoLoc, "tile node has no children");
         for (const auto& child : node->children())
-            visit(workload, spec, child.get(), level, problems);
+            visit(workload, spec, child.get(), level, diags);
         break;
       }
       case NodeType::Scope: {
         if (node->numChildren() < 2)
-            problems.push_back(concat("scope '",
-                                      scopeKindName(node->scopeKind()),
-                                      "' has fewer than two children"));
+            diags.error("V301", kNoLoc,
+                        concat("scope '",
+                               scopeKindName(node->scopeKind()),
+                               "' has fewer than two children"));
         for (const auto& child : node->children())
-            visit(workload, spec, child.get(), parent_level, problems);
+            visit(workload, spec, child.get(), parent_level, diags);
         break;
       }
       case NodeType::Op: {
         if (node->op() < 0 || size_t(node->op()) >= workload.numOps()) {
-            problems.push_back(concat("op leaf references unknown op ",
-                                      node->op()));
+            diags.error("V301", kNoLoc,
+                        concat("op leaf references unknown op ",
+                               node->op()));
             break;
         }
         const Node* tile = enclosingTile(node);
         if (!tile)
-            problems.push_back(concat("op '",
-                                      workload.op(node->op()).name(),
-                                      "' has no enclosing tile"));
+            diags.error("V301", kNoLoc,
+                        concat("op '", workload.op(node->op()).name(),
+                               "' has no enclosing tile"));
         else if (tile->memLevel() != 0)
-            problems.push_back(concat(
-                "op '", workload.op(node->op()).name(),
-                "' must sit under a level-0 tile, found L",
-                tile->memLevel()));
+            diags.error("V301", kNoLoc,
+                        concat("op '", workload.op(node->op()).name(),
+                               "' must sit under a level-0 tile, "
+                               "found L",
+                               tile->memLevel()));
         break;
       }
     }
 }
 
 void
-checkCoverage(const AnalysisTree& tree, std::vector<std::string>& problems)
+checkCoverage(const AnalysisTree& tree, DiagnosticEngine& diags)
 {
     const Workload& workload = tree.workload();
     for (const Node* leaf : tree.root()->opLeaves()) {
@@ -88,17 +103,17 @@ checkCoverage(const AnalysisTree& tree, std::vector<std::string>& problems)
             const int64_t span = pathSpan(tree.root(), leaf, dim);
             const int64_t extent = workload.dim(dim).extent;
             if (span < extent) {
-                problems.push_back(concat(
-                    "op '", op.name(), "': dim '", workload.dim(dim).name,
-                    "' covered ", span, " < extent ", extent));
+                diags.error("V303", kNoLoc,
+                            concat("op '", op.name(), "': dim '",
+                                   workload.dim(dim).name, "' covered ",
+                                   span, " < extent ", extent));
             }
         }
     }
 }
 
 void
-checkOpMultiplicity(const AnalysisTree& tree,
-                    std::vector<std::string>& problems)
+checkOpMultiplicity(const AnalysisTree& tree, DiagnosticEngine& diags)
 {
     const Workload& workload = tree.workload();
     std::map<OpId, int> counts;
@@ -107,16 +122,16 @@ checkOpMultiplicity(const AnalysisTree& tree,
     for (size_t i = 0; i < workload.numOps(); ++i) {
         const int count = counts.count(OpId(i)) ? counts[OpId(i)] : 0;
         if (count != 1) {
-            problems.push_back(concat("op '", workload.op(OpId(i)).name(),
-                                      "' appears ", count,
-                                      " times (expected exactly 1)"));
+            diags.error("V304", kNoLoc,
+                        concat("op '", workload.op(OpId(i)).name(),
+                               "' appears ", count,
+                               " times (expected exactly 1)"));
         }
     }
 }
 
 void
-checkFusionGranularity(const AnalysisTree& tree,
-                       std::vector<std::string>& problems)
+checkFusionGranularity(const AnalysisTree& tree, DiagnosticEngine& diags)
 {
     // Sec. 4.1: above a fused producer tile, only the *consumer's*
     // reduction loops should appear; a producer's reduction loop in an
@@ -139,12 +154,13 @@ checkFusionGranularity(const AnalysisTree& tree,
             for (const Loop& loop : cursor->loops()) {
                 if (loop.isTemporal() && loop.extent > 1 &&
                     op.isReduction(loop.dim)) {
-                    problems.push_back(concat(
-                        "warn: producer op '", op.name(),
-                        "' has its reduction dim '",
-                        workload.dim(loop.dim).name,
-                        "' in a fusing ancestor tile; the pipeline will "
-                        "serialize"));
+                    diags.warning(
+                        "V305", kNoLoc,
+                        concat("producer op '", op.name(),
+                               "' has its reduction dim '",
+                               workload.dim(loop.dim).name,
+                               "' in a fusing ancestor tile; the "
+                               "pipeline will serialize"));
                 }
             }
         }
@@ -153,21 +169,40 @@ checkFusionGranularity(const AnalysisTree& tree,
 
 } // namespace
 
+bool
+validateTreeDiag(const AnalysisTree& tree, DiagnosticEngine& diags,
+                 const ArchSpec* spec)
+{
+    const size_t before = diags.errorCount();
+    if (!tree.hasRoot()) {
+        diags.error("V301", kNoLoc, "tree has no root");
+        return false;
+    }
+    if (!tree.root()->isTile())
+        diags.error("V301", kNoLoc, "root node must be a tile");
+    visit(tree.workload(), spec, tree.root(), -1, diags);
+    // The path-walking checks assume a structurally sane tree; skip
+    // them when the structure pass already failed.
+    if (diags.errorCount() == before) {
+        checkCoverage(tree, diags);
+        checkOpMultiplicity(tree, diags);
+        checkFusionGranularity(tree, diags);
+    }
+    return diags.errorCount() == before;
+}
+
 std::vector<std::string>
 validateTree(const AnalysisTree& tree, const ArchSpec* spec)
 {
+    DiagnosticEngine diags(/*max_diagnostics=*/4096);
+    validateTreeDiag(tree, diags, spec);
     std::vector<std::string> problems;
-    if (!tree.hasRoot()) {
-        problems.push_back("tree has no root");
-        return problems;
-    }
-    if (!tree.root()->isTile())
-        problems.push_back("root node must be a tile");
-    visit(tree.workload(), spec, tree.root(), -1, problems);
-    if (problems.empty()) {
-        checkCoverage(tree, problems);
-        checkOpMultiplicity(tree, problems);
-        checkFusionGranularity(tree, problems);
+    problems.reserve(diags.diagnostics().size());
+    for (const Diagnostic& diag : diags.diagnostics()) {
+        if (diag.severity == Severity::Warning)
+            problems.push_back(concat("warn: ", diag.message));
+        else
+            problems.push_back(diag.message);
     }
     return problems;
 }
@@ -175,10 +210,19 @@ validateTree(const AnalysisTree& tree, const ArchSpec* spec)
 void
 checkTree(const AnalysisTree& tree, const ArchSpec* spec)
 {
-    for (const std::string& problem : validateTree(tree, spec)) {
-        if (!startsWith(problem, "warn:"))
-            fatal("invalid analysis tree: ", problem);
+    DiagnosticEngine diags(/*max_diagnostics=*/4096);
+    if (validateTreeDiag(tree, diags, spec))
+        return;
+    std::ostringstream os;
+    size_t errors = 0;
+    for (const Diagnostic& diag : diags.diagnostics()) {
+        if (diag.severity != Severity::Error)
+            continue;
+        os << "\n  [" << diag.code << "] " << diag.message;
+        ++errors;
     }
+    fatal("invalid analysis tree (", errors, " problem",
+          errors == 1 ? "" : "s", "):", os.str());
 }
 
 } // namespace tileflow

@@ -1,0 +1,488 @@
+#include "frontend/archspec.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "arch/energy_table.hpp"
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** Per-level parse state: the level plus which energy fields the spec
+ *  pinned explicitly (they survive applyEnergyModel). */
+struct LevelDraft
+{
+    MemLevel level;
+    bool hasReadEnergy = false;
+    bool hasWriteEnergy = false;
+    SourceLoc loc;
+};
+
+class ArchParser
+{
+  public:
+    ArchParser(const std::string& text, DiagnosticEngine& diags,
+               const ParseLimits& limits)
+        : diags_(diags), limits_(limits), lex_(text, diags, limits)
+    {
+    }
+
+    std::optional<ArchSpec>
+    parse()
+    {
+        parseHeader();
+        while (true) {
+            const Token tok = lex_.peek();
+            if (tok.isEnd()) {
+                diags_.error("A406", tok.loc,
+                             "missing '}' closing the arch block");
+                break;
+            }
+            if (tok.isPunct('}')) {
+                lex_.next();
+                break;
+            }
+            parseStatement();
+        }
+        if (!lex_.atEnd() && !diags_.hasErrors()) {
+            diags_.error("A406", lex_.loc(),
+                         "trailing input after the arch block");
+        }
+        return build();
+    }
+
+  private:
+    static std::string
+    describe(const Token& tok)
+    {
+        return tok.isEnd() ? "end of input" : quoted(tok.text);
+    }
+
+    void
+    parseHeader()
+    {
+        const Token head = lex_.peek();
+        if (head.is("arch")) {
+            lex_.next();
+        } else {
+            diags_.error("A401", head.loc,
+                         concat("expected 'arch', got ", describe(head)));
+        }
+        if (lex_.peek().kind == TokenKind::String)
+            name_ = lex_.next().text;
+        if (lex_.peek().isPunct('{')) {
+            lex_.next();
+        } else {
+            diags_.error("A401", lex_.loc(),
+                         concat("expected '{' opening the arch block, "
+                                "got ",
+                                describe(lex_.peek())));
+            sync();
+            if (lex_.peek().isPunct('{'))
+                lex_.next();
+        }
+    }
+
+    void
+    parseStatement()
+    {
+        const Token key = lex_.next();
+        double num = 0.0;
+        int64_t value = 0;
+        if (key.is("frequency_ghz")) {
+            if (parseNumber(num, "frequency_ghz") &&
+                checkPositive(num, key.loc, "frequency_ghz")) {
+                frequency_ = num;
+            }
+        } else if (key.is("word_bytes")) {
+            if (parseInt(value, "word_bytes", 1, 16))
+                wordBytes_ = int(value);
+        } else if (key.is("pe_array")) {
+            int64_t rows = 0;
+            int64_t cols = 0;
+            if (!parseInt(rows, "pe_array rows", 1, 65536))
+                return;
+            if (lex_.peek().is("x")) {
+                lex_.next();
+            } else {
+                diags_.error("A401", lex_.loc(),
+                             concat("expected 'x' between pe_array "
+                                    "dimensions, got ",
+                                    describe(lex_.peek())));
+                return;
+            }
+            if (!parseInt(cols, "pe_array cols", 1, 65536))
+                return;
+            peRows_ = int(rows);
+            peCols_ = int(cols);
+        } else if (key.is("vector_lanes")) {
+            if (parseInt(value, "vector_lanes", 1, 1 << 20))
+                vectorLanes_ = int(value);
+        } else if (key.is("mac_energy_pj")) {
+            if (parseNumber(num, "mac_energy_pj") &&
+                checkNonNegative(num, key.loc, "mac_energy_pj")) {
+                macEnergyPJ_ = num;
+                hasMacEnergy_ = true;
+            }
+        } else if (key.is("direct_transfer")) {
+            parseBool(directTransfer_, "direct_transfer");
+        } else if (key.is("level")) {
+            parseLevel();
+        } else {
+            diags_.error("A402", key.loc,
+                         concat("unknown architecture key ",
+                                describe(key)));
+            sync();
+        }
+    }
+
+    void
+    parseLevel()
+    {
+        LevelDraft draft;
+        draft.loc = lex_.loc();
+        if (lex_.peek().kind == TokenKind::String) {
+            draft.level.name = lex_.next().text;
+        } else {
+            diags_.error("A406", lex_.loc(),
+                         concat("expected a quoted level name, got ",
+                                describe(lex_.peek())));
+        }
+        if (lex_.peek().isPunct('{')) {
+            lex_.next();
+        } else {
+            diags_.error("A406", lex_.loc(),
+                         concat("expected '{' opening the level "
+                                "block, got ",
+                                describe(lex_.peek())));
+            sync();
+            return;
+        }
+        while (true) {
+            const Token tok = lex_.peek();
+            if (tok.isEnd()) {
+                diags_.error("A406", tok.loc,
+                             "missing '}' closing the level block");
+                break;
+            }
+            if (tok.isPunct('}')) {
+                lex_.next();
+                break;
+            }
+            parseLevelStatement(draft);
+        }
+        if (int64_t(levels_.size()) >= std::min<int64_t>(
+                64, limits_.maxNodes)) {
+            if (!levelCapReported_) {
+                diags_.error("A405", draft.loc,
+                             "too many memory levels (limit 64)");
+                levelCapReported_ = true;
+            }
+            return;
+        }
+        levels_.push_back(std::move(draft));
+    }
+
+    void
+    parseLevelStatement(LevelDraft& draft)
+    {
+        const Token key = lex_.next();
+        double num = 0.0;
+        int64_t value = 0;
+        if (key.is("capacity")) {
+            if (parseCapacity(value))
+                draft.level.capacityBytes = value;
+        } else if (key.is("bandwidth_gbps")) {
+            if (parseNumber(num, "bandwidth_gbps") &&
+                checkNonNegative(num, key.loc, "bandwidth_gbps")) {
+                draft.level.bandwidthGBps = num;
+            }
+        } else if (key.is("fanout")) {
+            if (parseInt(value, "fanout", 1, 1 << 20))
+                draft.level.fanout = int(value);
+        } else if (key.is("read_energy_pj")) {
+            if (parseNumber(num, "read_energy_pj") &&
+                checkNonNegative(num, key.loc, "read_energy_pj")) {
+                draft.level.readEnergyPJ = num;
+                draft.hasReadEnergy = true;
+            }
+        } else if (key.is("write_energy_pj")) {
+            if (parseNumber(num, "write_energy_pj") &&
+                checkNonNegative(num, key.loc, "write_energy_pj")) {
+                draft.level.writeEnergyPJ = num;
+                draft.hasWriteEnergy = true;
+            }
+        } else {
+            diags_.error("A402", key.loc,
+                         concat("unknown level key ", describe(key)));
+            sync();
+        }
+    }
+
+    /** A bad value token was diagnosed: consume it unless it could
+     *  plausibly start the next statement, to avoid cascades. */
+    void
+    skipBadValue(const Token& tok)
+    {
+        if (!tok.isEnd() && tok.kind != TokenKind::String &&
+            !tok.isPunct('{') && !tok.isPunct('}') &&
+            !isStatementKey(tok)) {
+            lex_.next();
+        }
+    }
+
+    bool
+    parseNumber(double& out, const char* what)
+    {
+        const Token tok = lex_.peek();
+        if (tok.kind != TokenKind::Number) {
+            diags_.error("A403", tok.loc,
+                         concat("expected a number for ", what,
+                                ", got ", describe(tok)));
+            skipBadValue(tok);
+            return false;
+        }
+        lex_.next();
+        char* end = nullptr;
+        out = std::strtod(tok.text.c_str(), &end);
+        if (end != tok.text.c_str() + tok.text.size() ||
+            !std::isfinite(out)) {
+            diags_.error("A403", tok.loc,
+                         concat("malformed number ", quoted(tok.text),
+                                " for ", what));
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    parseInt(int64_t& out, const char* what, int64_t lo, int64_t hi)
+    {
+        const Token tok = lex_.peek();
+        if (tok.kind != TokenKind::Number ||
+            !parseIntChecked(tok.text, out)) {
+            diags_.error("A403", tok.loc,
+                         concat("expected an integer for ", what,
+                                ", got ", describe(tok)));
+            skipBadValue(tok);
+            return false;
+        }
+        lex_.next();
+        if (out < lo || out > hi) {
+            diags_.error("A405", tok.loc,
+                         concat(what, " is ", out, "; must be in [",
+                                lo, ", ", hi, "]"));
+            return false;
+        }
+        return true;
+    }
+
+    /** `unbounded` or INT with an optional B/KiB/MiB/GiB suffix. */
+    bool
+    parseCapacity(int64_t& out)
+    {
+        const Token tok = lex_.peek();
+        if (tok.is("unbounded")) {
+            lex_.next();
+            out = 0;
+            return true;
+        }
+        if (tok.kind != TokenKind::Number) {
+            diags_.error("A404", tok.loc,
+                         concat("expected a capacity (bytes, KiB/MiB/"
+                                "GiB suffix, or 'unbounded'), got ",
+                                describe(tok)));
+            skipBadValue(tok);
+            return false;
+        }
+        lex_.next();
+        size_t digits = 0;
+        while (digits < tok.text.size() &&
+               std::isdigit(static_cast<unsigned char>(
+                   tok.text[digits]))) {
+            ++digits;
+        }
+        const std::string suffix = tok.text.substr(digits);
+        int64_t scale = 1;
+        if (suffix == "KiB")
+            scale = int64_t(1) << 10;
+        else if (suffix == "MiB")
+            scale = int64_t(1) << 20;
+        else if (suffix == "GiB")
+            scale = int64_t(1) << 30;
+        else if (!suffix.empty() && suffix != "B") {
+            diags_.error("A404", tok.loc,
+                         concat("unknown capacity suffix in ",
+                                quoted(tok.text)));
+            return false;
+        }
+        int64_t value = 0;
+        if (!parseIntChecked(tok.text.substr(0, digits), value) ||
+            !mulCapped(value, scale,
+                       std::numeric_limits<int64_t>::max() / 2, out)) {
+            diags_.error("A404", tok.loc,
+                         concat("capacity ", quoted(tok.text),
+                                " overflows"));
+            return false;
+        }
+        return true;
+    }
+
+    void
+    parseBool(bool& out, const char* what)
+    {
+        const Token tok = lex_.peek();
+        if (tok.is("true")) {
+            lex_.next();
+            out = true;
+        } else if (tok.is("false")) {
+            lex_.next();
+            out = false;
+        } else {
+            diags_.error("A403", tok.loc,
+                         concat("expected true/false for ", what,
+                                ", got ", describe(tok)));
+            skipBadValue(tok);
+        }
+    }
+
+    bool
+    checkPositive(double value, SourceLoc loc, const char* what)
+    {
+        if (value > 0.0)
+            return true;
+        diags_.error("A405", loc,
+                     concat(what, " must be > 0, got ", value));
+        return false;
+    }
+
+    bool
+    checkNonNegative(double value, SourceLoc loc, const char* what)
+    {
+        if (value >= 0.0)
+            return true;
+        diags_.error("A405", loc,
+                     concat(what, " must be >= 0, got ", value));
+        return false;
+    }
+
+    /** Skip to the next statement keyword or block boundary. */
+    void
+    sync()
+    {
+        int depth = 0;
+        while (true) {
+            const Token& tok = lex_.peek();
+            if (tok.isEnd())
+                return;
+            if (depth == 0 &&
+                (isStatementKey(tok) || tok.isPunct('}') ||
+                 tok.isPunct('{'))) {
+                return;
+            }
+            if (tok.isPunct('{'))
+                ++depth;
+            else if (tok.isPunct('}'))
+                --depth;
+            lex_.next();
+        }
+    }
+
+    static bool
+    isStatementKey(const Token& tok)
+    {
+        return tok.kind == TokenKind::Word &&
+               (tok.is("frequency_ghz") || tok.is("word_bytes") ||
+                tok.is("pe_array") || tok.is("vector_lanes") ||
+                tok.is("mac_energy_pj") || tok.is("direct_transfer") ||
+                tok.is("level") || tok.is("capacity") ||
+                tok.is("bandwidth_gbps") || tok.is("fanout") ||
+                tok.is("read_energy_pj") || tok.is("write_energy_pj"));
+    }
+
+    std::optional<ArchSpec>
+    build()
+    {
+        if (levels_.size() < 2 && !diags_.hasErrors()) {
+            diags_.error("A407", SourceLoc{},
+                         concat("architecture needs at least a "
+                                "register level and DRAM; got ",
+                                levels_.size(), " level(s)"));
+        }
+        // The spatial instance counts derived from fanouts must fit an
+        // int (ArchSpec stores them as such); reject overflow instead
+        // of wrapping.
+        int64_t instances = 1;
+        for (size_t i = levels_.size(); i-- > 0;) {
+            if (!mulCapped(instances, levels_[i].level.fanout,
+                           std::numeric_limits<int>::max(),
+                           instances)) {
+                diags_.error("A408", levels_[i].loc,
+                             "total spatial fanout overflows the "
+                             "instance counter");
+                break;
+            }
+        }
+        if (diags_.hasErrors())
+            return std::nullopt;
+
+        std::vector<MemLevel> levels;
+        levels.reserve(levels_.size());
+        for (const LevelDraft& draft : levels_)
+            levels.push_back(draft.level);
+        try {
+            ArchSpec spec(name_, frequency_, std::move(levels), peRows_,
+                          peCols_, vectorLanes_, wordBytes_);
+            applyEnergyModel(spec);
+            for (size_t i = 0; i < levels_.size(); ++i) {
+                if (levels_[i].hasReadEnergy) {
+                    spec.levels()[i].readEnergyPJ =
+                        levels_[i].level.readEnergyPJ;
+                }
+                if (levels_[i].hasWriteEnergy) {
+                    spec.levels()[i].writeEnergyPJ =
+                        levels_[i].level.writeEnergyPJ;
+                }
+            }
+            if (hasMacEnergy_)
+                spec.setMacEnergyPJ(macEnergyPJ_);
+            spec.setDirectInterLevelTransfer(directTransfer_);
+            return spec;
+        } catch (const FatalError& err) {
+            diags_.error("A409", SourceLoc{},
+                         concat("architecture rejected: ", err.what()));
+            return std::nullopt;
+        }
+    }
+
+    DiagnosticEngine& diags_;
+    const ParseLimits& limits_;
+    SpecLexer lex_;
+
+    std::string name_ = "arch";
+    double frequency_ = 1.0;
+    int wordBytes_ = 2;
+    int peRows_ = 16;
+    int peCols_ = 16;
+    int vectorLanes_ = 16;
+    double macEnergyPJ_ = 0.0;
+    bool hasMacEnergy_ = false;
+    bool directTransfer_ = false;
+    bool levelCapReported_ = false;
+    std::vector<LevelDraft> levels_;
+};
+
+} // namespace
+
+std::optional<ArchSpec>
+parseArchSpec(const std::string& text, DiagnosticEngine& diags,
+              const ParseLimits& limits)
+{
+    return ArchParser(text, diags, limits).parse();
+}
+
+} // namespace tileflow

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text loader for architecture specifications (untrusted input).
+ *
+ * Format (comments start with '#'; levels are listed innermost-first,
+ * the last level is DRAM):
+ *
+ *   arch "Edge" {
+ *     frequency_ghz 1.0
+ *     word_bytes 2
+ *     pe_array 32 x 32
+ *     vector_lanes 32
+ *     mac_energy_pj 0.56          # optional, else from the energy table
+ *     direct_transfer false       # optional (paper Fig. 6 bottom)
+ *     level "Reg"  { capacity 128KiB bandwidth_gbps 4800 }
+ *     level "L1"   { capacity 4MiB   bandwidth_gbps 1200 }
+ *     level "DRAM" { capacity unbounded bandwidth_gbps 60 fanout 4 }
+ *   }
+ *
+ * Capacities take an optional B/KiB/MiB/GiB suffix or `unbounded` (0).
+ * `fanout` is how many next-inner-level instances one instance feeds
+ * (per-level instance counts are derived, outermost = 1). Per-level
+ * `read_energy_pj` / `write_energy_pj` override the Accelergy-style
+ * energy model that otherwise fills them in.
+ *
+ * The parser recovers at statement boundaries and reports every
+ * problem as a located Diagnostic (A4xx codes); it returns a spec only
+ * when the text had no errors. It never throws.
+ */
+
+#ifndef TILEFLOW_FRONTEND_ARCHSPEC_HPP
+#define TILEFLOW_FRONTEND_ARCHSPEC_HPP
+
+#include <optional>
+#include <string>
+
+#include "arch/arch.hpp"
+#include "common/diag.hpp"
+#include "frontend/lexer.hpp"
+
+namespace tileflow {
+
+std::optional<ArchSpec>
+parseArchSpec(const std::string& text, DiagnosticEngine& diags,
+              const ParseLimits& limits = {});
+
+} // namespace tileflow
+
+#endif // TILEFLOW_FRONTEND_ARCHSPEC_HPP

@@ -1,0 +1,192 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+bool
+isWordStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '@';
+}
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '@' || c == '.';
+}
+
+bool
+isNumberChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '.';
+}
+
+} // namespace
+
+std::string
+quoted(const std::string& text)
+{
+    constexpr size_t kMax = 32;
+    std::string out = "'";
+    for (size_t i = 0; i < text.size() && i < kMax; ++i) {
+        const unsigned char u = static_cast<unsigned char>(text[i]);
+        if (u < 0x20 || u == 0x7f)
+            out += '?';
+        else
+            out += text[i];
+    }
+    if (text.size() > kMax)
+        out += "...";
+    out += "'";
+    return out;
+}
+
+bool
+parseIntChecked(const std::string& digits, int64_t& out)
+{
+    if (digits.empty())
+        return false;
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    int64_t value = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        const int64_t d = c - '0';
+        if (value > (kMax - d) / 10)
+            return false;
+        value = value * 10 + d;
+    }
+    out = value;
+    return true;
+}
+
+bool
+mulCapped(int64_t a, int64_t b, int64_t cap, int64_t& out)
+{
+    if (a < 0 || b < 0)
+        return false;
+    if (a != 0 && b > cap / a)
+        return false;
+    out = a * b;
+    return out <= cap;
+}
+
+SpecLexer::SpecLexer(const std::string& text, DiagnosticEngine& diags,
+                     const ParseLimits& limits)
+    : text_(text), diags_(diags), limit_(text.size())
+{
+    if (text_.size() > limits.maxInputBytes) {
+        limit_ = limits.maxInputBytes;
+        diags_.error("L004", SourceLoc{1, 1},
+                     concat("input is ", text_.size(),
+                            " bytes; the limit is ",
+                            limits.maxInputBytes, " bytes"));
+    }
+}
+
+const Token&
+SpecLexer::peek()
+{
+    if (!hasPeek_) {
+        peek_ = lexToken();
+        hasPeek_ = true;
+    }
+    return peek_;
+}
+
+Token
+SpecLexer::next()
+{
+    peek();
+    hasPeek_ = false;
+    return std::move(peek_);
+}
+
+void
+SpecLexer::advance()
+{
+    if (pos_ >= limit_)
+        return;
+    if (text_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    ++pos_;
+}
+
+void
+SpecLexer::skipSpace()
+{
+    while (pos_ < limit_) {
+        const char c = text_[pos_];
+        if (c == '#') {
+            while (pos_ < limit_ && text_[pos_] != '\n')
+                advance();
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+SpecLexer::lexToken()
+{
+    skipSpace();
+    Token tok;
+    tok.loc = SourceLoc{line_, col_};
+    if (pos_ >= limit_) {
+        tok.kind = TokenKind::End;
+        return tok;
+    }
+    const char c = text_[pos_];
+    if (isWordStart(c)) {
+        tok.kind = TokenKind::Word;
+        const size_t begin = pos_;
+        while (pos_ < limit_ && isWordChar(text_[pos_]))
+            advance();
+        tok.text = text_.substr(begin, pos_ - begin);
+        return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        tok.kind = TokenKind::Number;
+        const size_t begin = pos_;
+        while (pos_ < limit_ && isNumberChar(text_[pos_]))
+            advance();
+        tok.text = text_.substr(begin, pos_ - begin);
+        return tok;
+    }
+    if (c == '"') {
+        tok.kind = TokenKind::String;
+        advance();
+        const size_t begin = pos_;
+        while (pos_ < limit_ && text_[pos_] != '"' &&
+               text_[pos_] != '\n') {
+            advance();
+        }
+        tok.text = text_.substr(begin, pos_ - begin);
+        if (pos_ >= limit_ || text_[pos_] != '"') {
+            diags_.error("L002", tok.loc, "unterminated string literal");
+        } else {
+            advance(); // closing quote
+        }
+        return tok;
+    }
+    tok.kind = TokenKind::Punct;
+    tok.text = std::string(1, c);
+    advance();
+    return tok;
+}
+
+} // namespace tileflow

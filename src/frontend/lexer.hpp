@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared lexer for the text spec front end (mapping notation,
+ * architecture specs, workload specs).
+ *
+ * Tokens carry their 1-based line:col location so every parser
+ * diagnostic can point at the offending byte. Lexical classes:
+ *
+ *   Word    [A-Za-z_@][A-Za-z0-9_@.]*        identifiers, keywords, @L2
+ *   Number  [0-9][A-Za-z0-9.]*               integers, decimals, 384KiB
+ *   String  "..." (one line)                 quoted names in specs
+ *   Punct   any other single byte            { } [ ] , : + * x ...
+ *
+ * Comments run from '#' to end of line. The lexer never throws; lexical
+ * problems (unterminated string, oversized input) are reported to the
+ * DiagnosticEngine with L0xx codes and lexing continues.
+ *
+ * ParseLimits centralizes the adversarial-input resource caps shared by
+ * all spec parsers: nesting depth, node counts, extent magnitude, input
+ * size. All user-supplied integers go through checked arithmetic
+ * (lexInt / mulCapped) so `i:t9999999999999999999999` yields a located
+ * diagnostic instead of overflow UB.
+ */
+
+#ifndef TILEFLOW_FRONTEND_LEXER_HPP
+#define TILEFLOW_FRONTEND_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/diag.hpp"
+
+namespace tileflow {
+
+/** Resource caps applied to untrusted spec text. */
+struct ParseLimits
+{
+    /** Maximum tree/block nesting depth (bounds parser recursion). */
+    int maxNestingDepth = 64;
+
+    /** Maximum parsed entities in one document (tree nodes, dims,
+     *  tensors, ops, arch levels, ...). */
+    int64_t maxNodes = 65536;
+
+    /** Largest accepted loop/dim/shape extent. */
+    int64_t maxExtent = int64_t(1) << 40;
+
+    /** Largest accepted input text. */
+    size_t maxInputBytes = size_t(8) << 20;
+};
+
+enum class TokenKind { End, Word, Number, String, Punct };
+
+/** One lexed token; `text` excludes quotes for String tokens. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    std::string text;
+    SourceLoc loc;
+
+    bool isEnd() const { return kind == TokenKind::End; }
+    bool is(const char* s) const { return text == s; }
+    bool isPunct(char c) const
+    {
+        return kind == TokenKind::Punct && text.size() == 1 &&
+               text[0] == c;
+    }
+};
+
+/** Escape + length-cap a token text for use inside messages. */
+std::string quoted(const std::string& text);
+
+/** Parse a decimal integer with overflow checking; false on overflow
+ *  or any non-digit byte. */
+bool parseIntChecked(const std::string& digits, int64_t& out);
+
+/** a*b clamped into [0, cap]; false when the product exceeds cap. */
+bool mulCapped(int64_t a, int64_t b, int64_t cap, int64_t& out);
+
+class SpecLexer
+{
+  public:
+    /** Lexical problems go to `diags`; both must outlive the lexer.
+     *  Input beyond limits.maxInputBytes is ignored (L004). */
+    SpecLexer(const std::string& text, DiagnosticEngine& diags,
+              const ParseLimits& limits = {});
+
+    /** Next token without consuming it. */
+    const Token& peek();
+
+    /** Consume and return the next token (End at end of input). */
+    Token next();
+
+    bool atEnd() { return peek().isEnd(); }
+
+    /** Location of the next token (end-of-input location at the end). */
+    SourceLoc loc() { return peek().loc; }
+
+  private:
+    void advance();
+    void skipSpace();
+    Token lexToken();
+
+    const std::string& text_;
+    DiagnosticEngine& diags_;
+    size_t limit_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool hasPeek_ = false;
+    Token peek_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_FRONTEND_LEXER_HPP

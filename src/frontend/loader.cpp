@@ -1,0 +1,122 @@
+#include "frontend/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/notation.hpp"
+
+namespace tileflow {
+
+std::optional<std::string>
+readSpecFile(const std::string& path, DiagnosticEngine& diags,
+             const ParseLimits& limits)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        diags.error("F601", SourceLoc{},
+                    concat("cannot open ", quoted(path)));
+        return std::nullopt;
+    }
+    std::string text;
+    // Read one byte past the cap so oversized files are detected
+    // without slurping arbitrarily large input.
+    text.resize(limits.maxInputBytes + 1);
+    in.read(&text[0], std::streamsize(text.size()));
+    if (in.bad()) {
+        diags.error("F602", SourceLoc{},
+                    concat("read failure on ", quoted(path)));
+        return std::nullopt;
+    }
+    text.resize(size_t(in.gcount()));
+    if (text.size() > limits.maxInputBytes) {
+        diags.error("F603", SourceLoc{},
+                    concat(quoted(path), " exceeds the input limit of ",
+                           limits.maxInputBytes, " bytes"));
+        return std::nullopt;
+    }
+    return text;
+}
+
+std::optional<ArchSpec>
+loadArchSpec(const std::string& path, DiagnosticEngine& diags,
+             const ParseLimits& limits)
+{
+    auto text = readSpecFile(path, diags, limits);
+    if (!text)
+        return std::nullopt;
+    return parseArchSpec(*text, diags, limits);
+}
+
+std::optional<Workload>
+loadWorkloadSpec(const std::string& path, DiagnosticEngine& diags,
+                 const ParseLimits& limits)
+{
+    auto text = readSpecFile(path, diags, limits);
+    if (!text)
+        return std::nullopt;
+    return parseWorkloadSpec(*text, diags, limits);
+}
+
+std::optional<AnalysisTree>
+loadMapping(const Workload& workload, const std::string& path,
+            DiagnosticEngine& diags, const ParseLimits& limits)
+{
+    auto text = readSpecFile(path, diags, limits);
+    if (!text)
+        return std::nullopt;
+    return parseNotationDiag(workload, *text, diags, limits);
+}
+
+namespace {
+
+[[noreturn]] void
+dieWithDiagnostics(const char* what, const std::string& path,
+                   const DiagnosticEngine& diags)
+{
+    // Re-read best-effort so the report can show caret snippets; an
+    // unreadable file simply renders without them.
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        text = os.str();
+    }
+    fatal("failed to load ", what, " from '", path, "' (",
+          diags.summary(), "):\n", diags.render(text, path));
+}
+
+} // namespace
+
+ArchSpec
+loadArchSpecOrDie(const std::string& path)
+{
+    DiagnosticEngine diags;
+    auto spec = loadArchSpec(path, diags);
+    if (!spec)
+        dieWithDiagnostics("architecture spec", path, diags);
+    return std::move(*spec);
+}
+
+Workload
+loadWorkloadSpecOrDie(const std::string& path)
+{
+    DiagnosticEngine diags;
+    auto workload = loadWorkloadSpec(path, diags);
+    if (!workload)
+        dieWithDiagnostics("workload spec", path, diags);
+    return std::move(*workload);
+}
+
+AnalysisTree
+loadMappingOrDie(const Workload& workload, const std::string& path)
+{
+    DiagnosticEngine diags;
+    auto tree = loadMapping(workload, path, diags);
+    if (!tree)
+        dieWithDiagnostics("mapping", path, diags);
+    return std::move(*tree);
+}
+
+} // namespace tileflow

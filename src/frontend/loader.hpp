@@ -1,0 +1,58 @@
+/**
+ * @file
+ * File-level entry points for the spec front end.
+ *
+ * Each loader reads a text file and hands it to the matching parser
+ * (arch spec, workload spec, or tile-centric mapping notation). File
+ * problems (missing, unreadable, oversized) become F6xx diagnostics;
+ * parse problems keep their parser-specific codes. Loaders never
+ * throw: they return std::nullopt and leave the full story in the
+ * DiagnosticEngine, renderable with diags.render(*sourceText(), path).
+ */
+
+#ifndef TILEFLOW_FRONTEND_LOADER_HPP
+#define TILEFLOW_FRONTEND_LOADER_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/diag.hpp"
+#include "core/tree.hpp"
+#include "frontend/archspec.hpp"
+#include "frontend/workloadspec.hpp"
+
+namespace tileflow {
+
+/**
+ * Read a spec file into memory. Reports F601 (cannot open) / F602
+ * (read failure) / F603 (larger than limits.maxInputBytes) and returns
+ * std::nullopt on any of them.
+ */
+std::optional<std::string>
+readSpecFile(const std::string& path, DiagnosticEngine& diags,
+             const ParseLimits& limits = {});
+
+std::optional<ArchSpec>
+loadArchSpec(const std::string& path, DiagnosticEngine& diags,
+             const ParseLimits& limits = {});
+
+std::optional<Workload>
+loadWorkloadSpec(const std::string& path, DiagnosticEngine& diags,
+                 const ParseLimits& limits = {});
+
+std::optional<AnalysisTree>
+loadMapping(const Workload& workload, const std::string& path,
+            DiagnosticEngine& diags, const ParseLimits& limits = {});
+
+/**
+ * Strict convenience wrappers for tools: load or fatal() with the
+ * rendered diagnostics (file name, line:col, caret snippets).
+ */
+ArchSpec loadArchSpecOrDie(const std::string& path);
+Workload loadWorkloadSpecOrDie(const std::string& path);
+AnalysisTree loadMappingOrDie(const Workload& workload,
+                              const std::string& path);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_FRONTEND_LOADER_HPP

@@ -1,0 +1,308 @@
+#include "frontend/parserfuzz.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/notation.hpp"
+#include "frontend/archspec.hpp"
+#include "frontend/workloadspec.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/** Fixed Fig. 4-shaped workload the notation fuzz parses against. */
+const Workload&
+fuzzWorkload()
+{
+    static const Workload workload = [] {
+        Workload w("fuzz");
+        const DimId i = w.addDim("i", 64);
+        const DimId j = w.addDim("j", 64);
+        const DimId l = w.addDim("l", 32);
+        const DimId k = w.addDim("k", 16);
+        const TensorId q = w.addTensor(Tensor{"Q", {64, 16}, {}});
+        const TensorId kk = w.addTensor(Tensor{"K", {16, 32}, {}});
+        const TensorId a = w.addTensor(Tensor{"A", {64, 32}, {}});
+        const TensorId b = w.addTensor(Tensor{"B", {64, 32}, {}});
+        const TensorId v = w.addTensor(Tensor{"V", {32, 64}, {}});
+        const TensorId c = w.addTensor(Tensor{"C", {64, 64}, {}});
+        auto access = [](TensorId t, bool write,
+                         std::vector<DimId> dims) {
+            TensorAccess out;
+            out.tensor = t;
+            out.isWrite = write;
+            for (DimId d : dims)
+                out.projection.push_back({AccessTerm{d, 1}});
+            return out;
+        };
+        Operator opA("A", ComputeKind::Matrix);
+        opA.addDim(i, false);
+        opA.addDim(l, false);
+        opA.addDim(k, true);
+        opA.addAccess(access(q, false, {i, k}));
+        opA.addAccess(access(kk, false, {k, l}));
+        opA.addAccess(access(a, true, {i, l}));
+        w.addOp(std::move(opA));
+        Operator opB("B", ComputeKind::Vector);
+        opB.addDim(i, false);
+        opB.addDim(l, false);
+        opB.addAccess(access(a, false, {i, l}));
+        opB.addAccess(access(b, true, {i, l}));
+        w.addOp(std::move(opB));
+        Operator opC("C", ComputeKind::Matrix);
+        opC.addDim(i, false);
+        opC.addDim(j, false);
+        opC.addDim(l, true);
+        opC.addAccess(access(b, false, {i, l}));
+        opC.addAccess(access(v, false, {l, j}));
+        opC.addAccess(access(c, true, {i, j}));
+        w.addOp(std::move(opC));
+        return w;
+    }();
+    return workload;
+}
+
+const std::vector<std::string>&
+validDocs()
+{
+    static const std::vector<std::string> docs = {
+        // Mapping notation.
+        "tile @L2 [i:t4, j:t4, l:t2] {\n"
+        "  shar {\n"
+        "    tile @L1 [i:s4, l:t8] {\n"
+        "      pipe {\n"
+        "        tile @L0 [i:t8, l:t8, k:t16] { op A }\n"
+        "        tile @L0 [i:t8, l:t8]        { op B }\n"
+        "      }\n"
+        "    }\n"
+        "    tile @L1 [i:s4, j:t16, l:t8] {\n"
+        "      tile @L0 [i:t8, j:t4, l:t8] { op C }\n"
+        "    }\n"
+        "  }\n"
+        "}\n",
+        "tile @L1 [i:t64] { seq { op A op B op C } }\n",
+        "tile @L1 [] { tile @L0 [k:t16] { op A } }\n",
+        // Arch spec.
+        "arch \"Edge\" {\n"
+        "  frequency_ghz 1.0\n"
+        "  word_bytes 2\n"
+        "  pe_array 32 x 32\n"
+        "  vector_lanes 32\n"
+        "  level \"Reg\"  { capacity 128KiB bandwidth_gbps 4800 }\n"
+        "  level \"L1\"   { capacity 4MiB bandwidth_gbps 1200 }\n"
+        "  level \"DRAM\" { capacity unbounded bandwidth_gbps 60 "
+        "fanout 4 }\n"
+        "}\n",
+        // Workload spec.
+        "workload \"mini\" {\n"
+        "  dim i 64\n"
+        "  dim k 16\n"
+        "  dim l 32\n"
+        "  tensor Q [i, k]\n"
+        "  tensor K [k, l]\n"
+        "  tensor A [i, l]\n"
+        "  op A matrix {\n"
+        "    dims i, l\n"
+        "    reduce k\n"
+        "    read Q [i, k]\n"
+        "    read K [k, l]\n"
+        "    write A [i, l]\n"
+        "  }\n"
+        "}\n",
+        "workload \"halo\" {\n"
+        "  dim h 16\n"
+        "  dim r 3\n"
+        "  dim c 8\n"
+        "  tensor Im [h + r - 1, c]\n"
+        "  tensor Out [h, c]\n"
+        "  op conv matrix {\n"
+        "    dims h, c\n"
+        "    reduce r\n"
+        "    read Im [h + r, c]\n"
+        "    write Out [h, c] accumulate\n"
+        "  }\n"
+        "}\n",
+    };
+    return docs;
+}
+
+std::string
+mutateBytes(std::string doc, Rng& rng)
+{
+    const int edits = int(rng.uniformInt(1, 8));
+    for (int e = 0; e < edits && !doc.empty(); ++e) {
+        const size_t pos = rng.index(doc.size());
+        switch (rng.uniformInt(0, 2)) {
+          case 0:
+            doc[pos] = char(rng.uniformInt(0, 255));
+            break;
+          case 1:
+            doc.insert(pos, 1, char(rng.uniformInt(32, 126)));
+            break;
+          default:
+            doc.erase(pos, 1);
+            break;
+        }
+    }
+    return doc;
+}
+
+std::string
+tokenSoup(Rng& rng)
+{
+    static const std::vector<std::string> vocab = {
+        "tile",    "op",       "seq",      "shar",     "para",
+        "pipe",    "arch",     "workload", "dim",      "tensor",
+        "level",   "read",     "write",    "dims",     "reduce",
+        "i",       "j",        "k",        "l",        "A",
+        "B",       "C",        "@L0",      "@L1",      "@L999",
+        "t4",      "s4",       "t0",       "s999999999999",
+        "matrix",  "vector",   "capacity", "fanout",   "unbounded",
+        "128KiB",  "1e999",    "accumulate", "pe_array", "x",
+        "[",       "]",        "{",        "}",        ",",
+        ":",       "+",        "-",        "*",        "\"",
+        "#",       "\n",
+    };
+    std::string out;
+    const int tokens = int(rng.uniformInt(1, 120));
+    for (int t = 0; t < tokens; ++t) {
+        out += rng.choice(vocab);
+        if (rng.flip(0.7))
+            out += ' ';
+    }
+    return out;
+}
+
+std::string
+randomBytes(Rng& rng, bool printable)
+{
+    std::string out;
+    const int n = int(rng.uniformInt(0, 256));
+    out.reserve(size_t(n));
+    for (int b = 0; b < n; ++b) {
+        out += printable ? char(rng.uniformInt(32, 126))
+                         : char(rng.uniformInt(0, 255));
+    }
+    return out;
+}
+
+std::string
+adversarial(Rng& rng)
+{
+    switch (rng.uniformInt(0, 4)) {
+      case 0: {
+        // Nesting far past the depth cap.
+        std::string out;
+        const int depth = int(rng.uniformInt(80, 300));
+        for (int d = 0; d < depth; ++d)
+            out += "tile @L0 [i:t2] { ";
+        out += "op A";
+        for (int d = 0; d < depth; ++d)
+            out += " }";
+        return out;
+      }
+      case 1:
+        // Extents that overflow naive integer parsing.
+        return "tile @L0 [i:t99999999999999999999, "
+               "j:t9223372036854775807, k:t0] { op A }";
+      case 2: {
+        // Unbalanced braces / brackets.
+        std::string out;
+        const int n = int(rng.uniformInt(1, 400));
+        for (int b = 0; b < n; ++b)
+            out += rng.flip(0.5) ? '{' : '[';
+        return out;
+      }
+      case 3:
+        // Unterminated string and a comment swallowing the close.
+        return "arch \"unterminated { level \"x { # }\n}";
+      default: {
+        // One enormous line for the renderer's window logic.
+        std::string out = "tile @L0 [";
+        const int n = int(rng.uniformInt(200, 2000));
+        for (int c = 0; c < n; ++c)
+            out += 'i';
+        out += ":t4] { op A }";
+        return out;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+makeParserFuzzInput(uint64_t seed, uint64_t index)
+{
+    Rng rng(mixSeed(seed, 0xF0F0, index));
+    const std::vector<std::string>& docs = validDocs();
+    switch (index % 8) {
+      case 0:
+        return docs[rng.index(docs.size())];
+      case 1:
+      case 2:
+        return mutateBytes(docs[rng.index(docs.size())], rng);
+      case 3:
+        return tokenSoup(rng);
+      case 4:
+        return randomBytes(rng, true);
+      case 5:
+        return randomBytes(rng, false);
+      case 6:
+        return adversarial(rng);
+      default: {
+        // Splice the front of one valid doc onto the back of another.
+        const std::string& a = docs[rng.index(docs.size())];
+        const std::string& b = docs[rng.index(docs.size())];
+        return a.substr(0, rng.index(a.size() + 1)) +
+               b.substr(rng.index(b.size() + 1));
+      }
+    }
+}
+
+bool
+runParserFuzzInput(const std::string& input)
+{
+    bool accepted = false;
+    {
+        DiagnosticEngine diags;
+        auto tree = parseNotationDiag(fuzzWorkload(), input, diags);
+        (void)diags.render(input, "<fuzz>");
+        if (tree) {
+            accepted = true;
+            // The canonical print of an accepted tree must reparse.
+            DiagnosticEngine reparse;
+            (void)parseNotationDiag(fuzzWorkload(),
+                                    printNotation(*tree), reparse);
+        }
+    }
+    {
+        DiagnosticEngine diags;
+        accepted = parseArchSpec(input, diags).has_value() || accepted;
+        (void)diags.render(input, "<fuzz>");
+    }
+    {
+        DiagnosticEngine diags;
+        accepted =
+            parseWorkloadSpec(input, diags).has_value() || accepted;
+        (void)diags.render(input, "<fuzz>");
+    }
+    return accepted;
+}
+
+ParserFuzzStats
+runParserFuzz(uint64_t seed, uint64_t cases)
+{
+    ParserFuzzStats stats;
+    for (uint64_t i = 0; i < cases; ++i) {
+        const std::string input = makeParserFuzzInput(seed, i);
+        ++stats.cases;
+        if (runParserFuzzInput(input))
+            ++stats.accepted;
+        else
+            ++stats.rejected;
+    }
+    return stats;
+}
+
+} // namespace tileflow

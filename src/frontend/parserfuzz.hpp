@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seeded fuzzer for the spec front end.
+ *
+ * Every case is deterministic in (seed, index): a valid document
+ * (mapping notation, arch spec, or workload spec) degraded by byte
+ * mutations, random token soup, raw byte noise, or an adversarial
+ * pattern (deep nesting, huge numbers, unterminated strings). Each
+ * input is fed to all three recovering parsers and the diagnostic
+ * renderer; the contract under test is "no crash, no abort, no
+ * exception, no sanitizer finding" — malformed input must only ever
+ * produce diagnostics.
+ *
+ * Used by the tier-1 fuzz test (thousands of cases per run), the
+ * longer ASan/UBSan CI sweep, and corpus replay: any input that once
+ * broke a parser is saved under tests/corpus/regress and re-run
+ * verbatim by runParserFuzzInput().
+ */
+
+#ifndef TILEFLOW_FRONTEND_PARSERFUZZ_HPP
+#define TILEFLOW_FRONTEND_PARSERFUZZ_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace tileflow {
+
+struct ParserFuzzStats
+{
+    int64_t cases = 0;
+    /** Inputs some parser accepted cleanly. */
+    int64_t accepted = 0;
+    /** Inputs every parser rejected with diagnostics. */
+    int64_t rejected = 0;
+};
+
+/** Deterministically generate the fuzz input for one case. */
+std::string makeParserFuzzInput(uint64_t seed, uint64_t index);
+
+/**
+ * Feed one input through the notation, arch-spec, and workload-spec
+ * parsers plus the diagnostic renderer. Returns true when some parser
+ * accepted it. Propagates any exception a parser leaks — the caller
+ * asserts there are none.
+ */
+bool runParserFuzzInput(const std::string& input);
+
+/** Run cases [0, cases) of the given seed. */
+ParserFuzzStats runParserFuzz(uint64_t seed, uint64_t cases);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_FRONTEND_PARSERFUZZ_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text loader for workload specifications (untrusted input).
+ *
+ * Format (comments start with '#'):
+ *
+ *   workload "attention" {
+ *     dim i 128
+ *     dim l 128
+ *     dim k 64
+ *     tensor Q [i, k]
+ *     tensor K [k, l] fp16
+ *     tensor A [i, l]
+ *     op A matrix {
+ *       dims i, l
+ *       reduce k
+ *       read Q [i, k]
+ *       read K [k, l]
+ *       write A [i, l]
+ *     }
+ *   }
+ *
+ * Tensor shapes and access subscripts are affine expressions over the
+ * declared dims: a shape entry is `term (('+'|'-') term)*` and an
+ * access entry `term ('+' term)*`, where a term is `INT`, `DIM`, or
+ * `INT * DIM` (so conv halos read naturally: `tensor Im [h + r - 1,
+ * w + s - 1, c]` with `read Im [h + r, w + s, c]`). Shape entries are
+ * evaluated against the dim extents; access terms become AccessTerm
+ * projections. `write T [...] accumulate` marks a read-modify-write
+ * (+=) output. Optional per-op `ops_per_point N` sets the arithmetic
+ * cost per iteration point (default 1). Ops must appear
+ * producer-before-consumer: reading a tensor written only by a later
+ * op is an error, as is writing one tensor from two ops.
+ *
+ * The parser recovers at statement boundaries and reports every
+ * problem as a located Diagnostic (W5xx codes); it returns a workload
+ * only when the text had no errors. It never throws.
+ */
+
+#ifndef TILEFLOW_FRONTEND_WORKLOADSPEC_HPP
+#define TILEFLOW_FRONTEND_WORKLOADSPEC_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/diag.hpp"
+#include "frontend/lexer.hpp"
+#include "ir/workload.hpp"
+
+namespace tileflow {
+
+std::optional<Workload>
+parseWorkloadSpec(const std::string& text, DiagnosticEngine& diags,
+                  const ParseLimits& limits = {});
+
+} // namespace tileflow
+
+#endif // TILEFLOW_FRONTEND_WORKLOADSPEC_HPP

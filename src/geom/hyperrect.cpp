@@ -47,8 +47,12 @@ HyperRect::volume() const
     __int128 vol = 1;
     for (size_t d = 0; d < begins_.size(); ++d) {
         vol *= __int128(ends_[d] - begins_[d]);
+        // Overflow here is a property of the (possibly user-supplied)
+        // problem sizes, not an internal invariant violation, so it is
+        // a recoverable fatal() rather than an abort — mapper guards
+        // and spec loaders catch it and report the offending input.
         if (vol > __int128(std::numeric_limits<int64_t>::max()))
-            panic("HyperRect::volume: overflow at ", str());
+            fatal("HyperRect::volume: overflow at ", str());
     }
     return int64_t(vol);
 }
@@ -179,8 +183,9 @@ unionVolume(const std::vector<HyperRect>& rects)
             }
             if (inside) {
                 const __int128 next = __int128(total) + cell_vol;
+                // Recoverable for the same reason as volume() above.
                 if (next > __int128(std::numeric_limits<int64_t>::max()))
-                    panic("unionVolume: overflow");
+                    fatal("unionVolume: overflow");
                 total = int64_t(next);
                 break;
             }

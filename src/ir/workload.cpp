@@ -51,31 +51,58 @@ Workload::addOp(Operator op)
 DimId
 Workload::dimId(const std::string& name) const
 {
+    const DimId id = findDim(name);
+    if (id < 0)
+        fatal("Workload ", name_, ": unknown dim '", name, "'");
+    return id;
+}
+
+DimId
+Workload::findDim(const std::string& name) const
+{
     for (size_t i = 0; i < dims_.size(); ++i) {
         if (dims_[i].name == name)
             return DimId(i);
     }
-    fatal("Workload ", name_, ": unknown dim '", name, "'");
+    return -1;
 }
 
 TensorId
-Workload::tensorId(const std::string& name) const
+Workload::findTensor(const std::string& name) const
 {
     for (size_t i = 0; i < tensors_.size(); ++i) {
         if (tensors_[i].name == name)
             return TensorId(i);
     }
-    fatal("Workload ", name_, ": unknown tensor '", name, "'");
+    return -1;
 }
 
 OpId
-Workload::opId(const std::string& name) const
+Workload::findOp(const std::string& name) const
 {
     for (size_t i = 0; i < ops_.size(); ++i) {
         if (ops_[i].name() == name)
             return OpId(i);
     }
-    fatal("Workload ", name_, ": unknown op '", name, "'");
+    return -1;
+}
+
+TensorId
+Workload::tensorId(const std::string& name) const
+{
+    const TensorId id = findTensor(name);
+    if (id < 0)
+        fatal("Workload ", name_, ": unknown tensor '", name, "'");
+    return id;
+}
+
+OpId
+Workload::opId(const std::string& name) const
+{
+    const OpId id = findOp(name);
+    if (id < 0)
+        fatal("Workload ", name_, ": unknown op '", name, "'");
+    return id;
 }
 
 OpId

@@ -58,6 +58,12 @@ class Workload
     /** Lookup an op id by name; fatal() if absent. */
     OpId opId(const std::string& name) const;
 
+    /** Non-throwing lookups for the diagnostic front end; -1 when the
+     *  name is absent. */
+    DimId findDim(const std::string& name) const;
+    TensorId findTensor(const std::string& name) const;
+    OpId findOp(const std::string& name) const;
+
     /** Id of the op writing the tensor, or -1 if it is a pure input. */
     OpId producerOf(TensorId tensor) const;
 

@@ -1,0 +1,13 @@
+# Three independent mistakes: a duplicate dim, an unknown dim in a
+# shape, and an unknown dim in an op's dims list.
+workload "broken" {
+  dim i 64
+  dim i 32
+  tensor T [i]
+  tensor U [i, zz]
+  op f matrix {
+    dims i, qq
+    read T [i]
+    write T [i]
+  }
+}

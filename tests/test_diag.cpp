@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DiagnosticEngine and renderer unit tests: exact counts under the
+ * storage cap, clang-style caret snippets, and window/sanitize
+ * behavior on hostile source lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/diag.hpp"
+
+namespace tileflow {
+namespace {
+
+TEST(Diag, CountsBySeverity)
+{
+    DiagnosticEngine diags;
+    diags.error("P101", {1, 1}, "first");
+    diags.warning("V305", {2, 3}, "second");
+    diags.note("P101", {}, "third");
+    EXPECT_EQ(diags.errorCount(), 1u);
+    EXPECT_EQ(diags.warningCount(), 1u);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_FALSE(diags.truncated());
+    EXPECT_EQ(diags.diagnostics().size(), 3u);
+    EXPECT_EQ(diags.summary(), "1 error, 1 warning");
+}
+
+TEST(Diag, StorageCapKeepsExactCounts)
+{
+    DiagnosticEngine diags(/*max_diagnostics=*/4);
+    for (int i = 0; i < 100; ++i)
+        diags.error("P102", {i + 1, 1}, "spam");
+    EXPECT_EQ(diags.errorCount(), 100u);
+    EXPECT_EQ(diags.diagnostics().size(), 4u);
+    EXPECT_TRUE(diags.truncated());
+    EXPECT_EQ(diags.summary(), "100 errors");
+    const std::string report = diags.render("", "<x>");
+    EXPECT_NE(report.find("96 further diagnostics suppressed"),
+              std::string::npos);
+}
+
+TEST(Diag, ClearResets)
+{
+    DiagnosticEngine diags;
+    diags.error("P101", {1, 1}, "boom");
+    diags.clear();
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_TRUE(diags.diagnostics().empty());
+    EXPECT_FALSE(diags.truncated());
+}
+
+TEST(Diag, RenderWithCaret)
+{
+    const std::string source = "tile @L1 [zz:t4] {\n}\n";
+    Diagnostic diag{Severity::Error, "S201", {1, 11},
+                    "unknown dim 'zz'"};
+    EXPECT_EQ(renderDiagnostic(diag, source, "spec.map"),
+              "spec.map:1:11: error[S201]: unknown dim 'zz'\n"
+              "    tile @L1 [zz:t4] {\n"
+              "              ^\n");
+}
+
+TEST(Diag, RenderWithoutLocationOmitsSnippet)
+{
+    Diagnostic diag{Severity::Error, "V301", {},
+                    "tree has no root"};
+    EXPECT_EQ(renderDiagnostic(diag, "some source", "<tree>"),
+              "<tree>: error[V301]: tree has no root\n");
+}
+
+TEST(Diag, RenderSanitizesControlBytes)
+{
+    const std::string source = "ti\x01le\t@L1\x7f [\n";
+    Diagnostic diag{Severity::Error, "P101", {1, 1}, "bad"};
+    const std::string report = renderDiagnostic(diag, source, "<x>");
+    EXPECT_NE(report.find("ti?le @L1? ["), std::string::npos);
+}
+
+TEST(Diag, RenderWindowsLongLines)
+{
+    std::string source(5000, 'a');
+    Diagnostic diag{Severity::Error, "P102", {1, 3000}, "mid-line"};
+    const std::string report = renderDiagnostic(diag, source, "<x>");
+    // Windowed: far below 5000 bytes, ends with ellipsis + caret line.
+    EXPECT_LT(report.size(), 400u);
+    EXPECT_NE(report.find("...\n"), std::string::npos);
+    EXPECT_NE(report.find('^'), std::string::npos);
+}
+
+TEST(Diag, RenderOutOfRangeLineOmitsSnippet)
+{
+    Diagnostic diag{Severity::Error, "P103", {99, 1}, "eof"};
+    EXPECT_EQ(renderDiagnostic(diag, "one line\n", "<x>"),
+              "<x>:99:1: error[P103]: eof\n");
+}
+
+} // namespace
+} // namespace tileflow

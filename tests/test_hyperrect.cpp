@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "geom/hyperrect.hpp"
 
@@ -177,12 +178,22 @@ TEST(HyperRect, VolumeNearInt64MaxIsExact)
     EXPECT_EQ(r.volume(), int64_t(1) << 62);
 }
 
-TEST(HyperRectDeathTest, VolumePanicsOnOverflowInsteadOfWrapping)
+TEST(HyperRect, VolumeThrowsOnOverflowInsteadOfWrapping)
 {
-    // 2^64 elements: the old code silently wrapped to 0.
+    // 2^64 elements: the old code silently wrapped to 0. Oversized
+    // problem sizes come from user specs, so overflow is a
+    // recoverable FatalError, not an abort.
     const int64_t e = int64_t(1) << 32;
     HyperRect r({0, 0}, {e, e});
-    EXPECT_DEATH(r.volume(), "overflow");
+    EXPECT_THROW(r.volume(), FatalError);
+}
+
+TEST(HyperRect, UnionVolumeThrowsOnOverflow)
+{
+    const int64_t e = int64_t(1) << 32;
+    HyperRect a({0, 0}, {e, e});
+    HyperRect b({1, 1}, {e, e});
+    EXPECT_THROW(unionVolume({a, b}), FatalError);
 }
 
 } // namespace
