@@ -8,18 +8,28 @@
  * Usage: mapper_search [attention-shape] [rounds]
  *            [--time-budget-ms N] [--max-evals N] [--checkpoint PATH]
  *            [--arch FILE] [--workload FILE]
+ *            [--trace-out FILE] [--metrics-out FILE] [--progress-ms N]
  *
  * --arch loads an architecture spec (see examples/specs/) instead of
  * the built-in Edge preset. --workload loads a workload spec instead
- * of the named attention shape; the workload must
- * declare dims b, h, m, l for the attention mapping space (and n, k
- * for the reference-dataflow comparison, which is skipped when the
- * workload's structure doesn't fit).
+ * of the named attention shape. A workload declaring dims b, h, m, l
+ * gets the attention mapping space; any other multi-operator workload
+ * (e.g. examples/specs/fig4.wl) falls back to the workload-agnostic
+ * chain space. The reference-dataflow comparison is skipped when the
+ * workload's structure doesn't fit it.
  *
  * With --checkpoint, an interrupted run (budget hit, ^C and rerun, a
  * crash) resumes from PATH bit-identically. Set the environment
  * variable TILEFLOW_FAULT_INJECT (e.g. "throw=0.1,nan=0.05,seed=7")
  * to exercise the fault-tolerant evaluation boundary.
+ *
+ * Observability (DESIGN.md §10): --trace-out enables scoped tracing
+ * (as does setting TILEFLOW_TRACE) and writes a Chrome trace-event
+ * JSON loadable in chrome://tracing / Perfetto. --metrics-out writes
+ * the metrics registry plus the search result as JSON; either flag
+ * also prints the end-of-run metrics table. --progress-ms N emits a
+ * periodic progress line (best-so-far, evals/sec, cache hit rate,
+ * deadline remaining) at the search's stop-polling points.
  */
 
 #include <cstdio>
@@ -29,6 +39,7 @@
 
 #include "arch/presets.hpp"
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 #include "core/notation.hpp"
 #include "dataflows/attention.hpp"
 #include "frontend/loader.hpp"
@@ -37,12 +48,76 @@
 
 using namespace tileflow;
 
+namespace {
+
+/** Escape for a JSON string literal (enough for stop reasons). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Metrics JSON: {"metrics": <registry>, "result": {...}}. The
+ * "result" section mirrors MapperResult so the schema checker (and
+ * CI) can assert registry totals match the search's own accounting.
+ */
+bool
+writeMetricsJson(const std::string& path, const MapperResult& result)
+{
+    std::string json = "{\n\"metrics\": ";
+    json += MetricsRegistry::global().toJson();
+    json += ",\n\"result\": {";
+    json += "\"evaluations\": " + std::to_string(result.evaluations);
+    json += ", \"cache_hits\": " + std::to_string(result.cacheHits);
+    json += ", \"cache_misses\": " + std::to_string(result.cacheMisses);
+    json += ", \"failed_evaluations\": " +
+            std::to_string(result.failedEvaluations);
+    json += std::string(", \"found\": ") +
+            (result.found ? "true" : "false");
+    char cycles[64];
+    std::snprintf(cycles, sizeof cycles, "%.17g",
+                  result.found ? result.bestCycles : 0.0);
+    json += std::string(", \"best_cycles\": ") + cycles;
+    json += std::string(", \"timed_out\": ") +
+            (result.timedOut ? "true" : "false");
+    json += ", \"stop_reason\": \"" + jsonEscape(result.stopReason) +
+            "\"";
+    json += std::string(", \"resumed\": ") +
+            (result.resumed ? "true" : "false");
+    json += ", \"elapsed_ms\": " + std::to_string(result.elapsedMs);
+    json += "}\n}\n";
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    return written == json.size() && std::fclose(f) == 0;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     std::string name = "Bert-S";
     std::string arch_path;
     std::string workload_path;
+    std::string trace_path;
+    std::string metrics_path;
     MapperConfig cfg;
     cfg.population = 8;
     cfg.tilingSamples = 30;
@@ -64,6 +139,12 @@ main(int argc, char** argv)
             cfg.maxEvaluations = std::atoll(value());
         } else if (arg == "--checkpoint") {
             cfg.checkpointPath = value();
+        } else if (arg == "--trace-out") {
+            trace_path = value();
+        } else if (arg == "--metrics-out") {
+            metrics_path = value();
+        } else if (arg == "--progress-ms") {
+            cfg.progressIntervalMs = std::atoll(value());
         } else if (arg == "--arch") {
             arch_path = value();
         } else if (arg == "--workload") {
@@ -81,6 +162,9 @@ main(int argc, char** argv)
         }
     }
 
+    if (!trace_path.empty())
+        setTracingEnabled(true);
+
     try {
         const Workload workload =
             workload_path.empty()
@@ -93,10 +177,19 @@ main(int argc, char** argv)
         const std::string label =
             workload_path.empty() ? name : workload.name();
 
-        const MappingSpace space = makeAttentionSpace(workload, arch);
-        std::printf("exploring %s on %s: %lld structural configs x "
-                    "%lld tilings\n",
+        // Attention space when the workload declares its dims;
+        // otherwise the workload-agnostic chain space, so any
+        // multi-operator spec file (e.g. fig4.wl) is searchable.
+        const bool attention_dims =
+            workload.findDim("b") >= 0 && workload.findDim("h") >= 0 &&
+            workload.findDim("m") >= 0 && workload.findDim("l") >= 0;
+        const MappingSpace space = attention_dims
+                                       ? makeAttentionSpace(workload, arch)
+                                       : makeChainSpace(workload, arch);
+        std::printf("exploring %s on %s (%s space): %lld structural "
+                    "configs x %lld tilings\n",
                     label.c_str(), arch.name().c_str(),
+                    attention_dims ? "attention" : "chain",
                     (long long)space.structuralSpaceSize(),
                     (long long)space.factorSpaceSize());
 
@@ -120,6 +213,34 @@ main(int argc, char** argv)
         for (double c : result.trace)
             std::printf(" %.3g", c);
         std::printf("\n");
+
+        // Telemetry export runs on every exit path after the search —
+        // a budget stop with no mapping yet still produces the files.
+        if (!trace_path.empty() || !metrics_path.empty()) {
+            std::printf("\nmetrics:\n%s",
+                        MetricsRegistry::global().table().c_str());
+        }
+        if (!metrics_path.empty()) {
+            if (writeMetricsJson(metrics_path, result))
+                std::printf("metrics written to %s\n",
+                            metrics_path.c_str());
+            else
+                std::fprintf(stderr, "failed to write metrics to %s\n",
+                             metrics_path.c_str());
+        }
+        if (!trace_path.empty()) {
+            if (writeChromeTrace(trace_path)) {
+                std::printf("trace written to %s (%zu events",
+                            trace_path.c_str(), traceEventCount());
+                if (traceDroppedCount() > 0)
+                    std::printf(", %llu dropped",
+                                (unsigned long long)traceDroppedCount());
+                std::printf(")\n");
+            } else {
+                std::fprintf(stderr, "failed to write trace to %s\n",
+                             trace_path.c_str());
+            }
+        }
 
         if (!result.found) {
             std::printf("no valid mapping found\n");

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/telemetry.hpp"
 #include "core/validate.hpp"
 
 namespace tileflow {
@@ -12,6 +13,18 @@ namespace tileflow {
 EvalResult
 Evaluator::evaluate(const AnalysisTree& tree) const
 {
+    // Always-on metrics (handles resolved once; ~ns per call) plus
+    // per-phase spans that cost one relaxed load when tracing is off.
+    static Counter& calls =
+        MetricsRegistry::global().counter("analysis.evaluations");
+    static Counter& invalid =
+        MetricsRegistry::global().counter("analysis.invalid_mappings");
+    static Histogram& latency_hist =
+        MetricsRegistry::global().histogram("analysis.evaluate_ns");
+    calls.add();
+    const ScopedLatency timer(latency_hist);
+    const TraceSpan span("evaluate", "analysis");
+
     EvalResult result;
 
     if (const FaultInjector* injector = faultInjector()) {
@@ -31,38 +44,57 @@ Evaluator::evaluate(const AnalysisTree& tree) const
     }
 
     if (options_.validate) {
+        const TraceSpan phase("evaluate.validate", "analysis");
         for (const std::string& problem : validateTree(tree, spec_)) {
             if (!startsWith(problem, "warn:")) {
                 result.problems.push_back(problem);
             }
         }
-        if (!result.problems.empty())
+        if (!result.problems.empty()) {
+            invalid.add();
             return result;
+        }
     }
 
-    const DataMovementAnalyzer dm_analyzer(*workload_, *spec_);
-    result.dm = dm_analyzer.analyze(tree);
+    {
+        // Slice geometry is computed inside this walk (StepGeometry
+        // per Tile node); the span covers both.
+        const TraceSpan phase("evaluate.data_movement", "analysis");
+        const DataMovementAnalyzer dm_analyzer(*workload_, *spec_);
+        result.dm = dm_analyzer.analyze(tree);
+    }
 
-    const ResourceAnalyzer resource_analyzer(*workload_, *spec_);
-    result.resources =
-        resource_analyzer.analyze(tree, options_.enforceMemory);
+    {
+        const TraceSpan phase("evaluate.resource", "analysis");
+        const ResourceAnalyzer resource_analyzer(*workload_, *spec_);
+        result.resources =
+            resource_analyzer.analyze(tree, options_.enforceMemory);
+    }
 
     if (options_.enforceMemory && !result.resources.fitsMemory) {
         result.problems = result.resources.violations;
+        invalid.add();
         return result;
     }
     if (options_.enforceCompute && !result.resources.fitsCompute) {
         result.problems = result.resources.violations;
+        invalid.add();
         return result;
     }
 
-    const LatencyModel latency_model(*workload_, *spec_);
-    result.latency = latency_model.analyze(tree, result.dm);
-    result.cycles = result.latency.cycles;
-    result.utilization = result.latency.utilization;
+    {
+        const TraceSpan phase("evaluate.latency", "analysis");
+        const LatencyModel latency_model(*workload_, *spec_);
+        result.latency = latency_model.analyze(tree, result.dm);
+        result.cycles = result.latency.cycles;
+        result.utilization = result.latency.utilization;
+    }
 
-    result.energy = computeEnergy(result.dm, *spec_);
-    result.energyPJ = result.energy.totalPJ();
+    {
+        const TraceSpan phase("evaluate.energy", "analysis");
+        result.energy = computeEnergy(result.dm, *spec_);
+        result.energyPJ = result.energy.totalPJ();
+    }
 
     result.valid = true;
     return result;

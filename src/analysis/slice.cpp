@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 
 namespace tileflow {
 
@@ -12,6 +13,9 @@ StepGeometry::StepGeometry(const Workload& workload, const Node* node,
 {
     if (!node->isTile())
         panic("StepGeometry: node must be a Tile");
+    static Counter& built =
+        MetricsRegistry::global().counter("analysis.step_geometries");
+    built.add();
 
     const size_t num_dims = workload.dims().size();
     units_.assign(num_dims, 1);

@@ -50,9 +50,28 @@ class Deadline
     /** Expires `ms` milliseconds from now (ms <= 0: never). */
     static Deadline afterMs(int64_t ms);
 
+    /** Already expired (a budget consumed before this run began). */
+    static Deadline alreadyExpired();
+
+    /**
+     * Arm for what is left of a budget partially consumed by earlier
+     * (killed/checkpointed) runs: `budget_ms - elapsed_ms` from now.
+     * budget_ms <= 0 means unlimited; a non-positive remainder means
+     * already expired — NOT unlimited, which is what a naive
+     * afterMs(budget - elapsed) would silently grant.
+     */
+    static Deadline afterRemainingMs(int64_t budget_ms, int64_t elapsed_ms);
+
     bool unlimited() const { return !enabled_; }
 
     bool expired() const;
+
+    /** Milliseconds until expiry (clamped at 0); -1 when unlimited. */
+    int64_t remainingMs() const;
+
+    /** A copy whose expiry is `ms` milliseconds earlier (crediting
+     *  wall-clock already spent); unlimited stays unlimited. */
+    Deadline creditedMs(int64_t ms) const;
 
   private:
     std::chrono::steady_clock::time_point end_{};
@@ -90,6 +109,19 @@ class StopControl
     shouldStop(int64_t evaluations_so_far) const
     {
         return stopReason(evaluations_so_far) != nullptr;
+    }
+
+    const Deadline& deadline() const { return deadline_; }
+
+    /** A copy whose deadline is `ms` milliseconds closer — used by
+     *  checkpoint resume to charge the pre-kill wall clock against
+     *  the budget instead of silently re-arming it in full. */
+    StopControl
+    withElapsedCredit(int64_t ms) const
+    {
+        StopControl credited = *this;
+        credited.deadline_ = deadline_.creditedMs(ms);
+        return credited;
     }
 
   private:

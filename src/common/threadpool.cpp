@@ -55,7 +55,8 @@ ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(QueuedTask{std::move(task), telemetryNowNs()});
+        queueDepth_.set(double(queue_.size()));
     }
     cv_.notify_one();
 }
@@ -65,7 +66,7 @@ ThreadPool::workerLoop()
 {
     tls_current_pool = this;
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock,
@@ -74,8 +75,16 @@ ThreadPool::workerLoop()
                 return; // stopping_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            queueDepth_.set(double(queue_.size()));
         }
-        task();
+        const uint64_t start = telemetryNowNs();
+        queueWaitNs_.observe(start - task.enqueuedNs);
+        tasks_.add();
+        {
+            TraceSpan span("threadpool.task", "threadpool");
+            task.fn();
+        }
+        taskRunNs_.observe(telemetryNowNs() - start);
     }
 }
 

@@ -30,6 +30,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/telemetry.hpp"
+
 namespace tileflow {
 
 class ThreadPool
@@ -66,6 +68,7 @@ class ThreadPool
             std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
         std::future<R> future = task->get_future();
         if (onWorkerThread()) {
+            inlineTasks_.add();
             (*task)();
             return future;
         }
@@ -82,14 +85,34 @@ class ThreadPool
     void parallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   private:
+    /** A queued task and the time it entered the queue (telemetry). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        uint64_t enqueuedNs;
+    };
+
     void enqueue(std::function<void()> task);
     void workerLoop();
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::vector<std::thread> workers_;
     bool stopping_ = false;
+
+    // Telemetry (process-wide instruments; see DESIGN.md §10). Tasks
+    // that throw still count: the packaged_task layer captures the
+    // exception before it can unwind past the accounting.
+    Counter& tasks_ = MetricsRegistry::global().counter("threadpool.tasks");
+    Counter& inlineTasks_ =
+        MetricsRegistry::global().counter("threadpool.inline_tasks");
+    Gauge& queueDepth_ =
+        MetricsRegistry::global().gauge("threadpool.queue_depth");
+    Histogram& queueWaitNs_ =
+        MetricsRegistry::global().histogram("threadpool.queue_wait_ns");
+    Histogram& taskRunNs_ =
+        MetricsRegistry::global().histogram("threadpool.task_run_ns");
 };
 
 } // namespace tileflow

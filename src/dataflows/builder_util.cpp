@@ -19,8 +19,26 @@ std::unique_ptr<Node>
 buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
                      OpId op_id, int top_level)
 {
+    return buildSingleOpSubtree(workload, spec, op_id, top_level, {});
+}
+
+std::unique_ptr<Node>
+buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
+                     OpId op_id, int top_level,
+                     const std::vector<int64_t>& outer_coverage)
+{
     const Operator& op = workload.op(op_id);
     const size_t num_dims = workload.dims().size();
+
+    // Residual trip count this subtree must cover per dim, after the
+    // enclosing loops (if any) took their share.
+    auto residual = [&](DimId d) {
+        const int64_t extent = workload.dim(d).extent;
+        if (size_t(d) >= outer_coverage.size())
+            return extent;
+        return ceilDiv(extent,
+                       std::max<int64_t>(1, outer_coverage[size_t(d)]));
+    };
 
     std::vector<DimId> parallel;
     for (DimId d : op.dims()) {
@@ -37,10 +55,10 @@ buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
     if (op.kind() == ComputeKind::Matrix && parallel.size() >= 2) {
         const DimId row_dim = parallel[parallel.size() - 2];
         const DimId col_dim = parallel[parallel.size() - 1];
-        const int64_t rows = std::min<int64_t>(
-            spec.peRows(), workload.dim(row_dim).extent);
-        const int64_t cols = std::min<int64_t>(
-            spec.peCols(), workload.dim(col_dim).extent);
+        const int64_t rows =
+            std::min<int64_t>(spec.peRows(), residual(row_dim));
+        const int64_t cols =
+            std::min<int64_t>(spec.peCols(), residual(col_dim));
         appendLoop(l0_loops, row_dim, rows, LoopKind::Spatial);
         appendLoop(l0_loops, col_dim, cols, LoopKind::Spatial);
         l0_cov[size_t(row_dim)] = rows;
@@ -50,13 +68,12 @@ buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
         const int64_t lanes = std::min<int64_t>(
             op.kind() == ComputeKind::Matrix ? spec.pesPerSubCore()
                                              : spec.vectorLanes(),
-            workload.dim(lane_dim).extent);
+            residual(lane_dim));
         appendLoop(l0_loops, lane_dim, lanes, LoopKind::Spatial);
         l0_cov[size_t(lane_dim)] = lanes;
     }
     for (DimId d : op.reductionDims()) {
-        const int64_t f0 =
-            std::min<int64_t>(16, workload.dim(d).extent);
+        const int64_t f0 = std::min<int64_t>(16, residual(d));
         appendLoop(l0_loops, d, f0, LoopKind::Temporal);
         l0_cov[size_t(d)] = f0;
     }
@@ -64,7 +81,7 @@ buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
     // --- Remaining trip counts above L0 --------------------------------
     std::vector<int64_t> rem(num_dims, 1);
     for (DimId d : op.dims())
-        rem[size_t(d)] = ceilDiv(workload.dim(d).extent, l0_cov[size_t(d)]);
+        rem[size_t(d)] = ceilDiv(residual(d), l0_cov[size_t(d)]);
 
     // --- Spatial fanout, outermost level first -------------------------
     std::vector<std::vector<Loop>> level_loops(size_t(top_level) + 1);

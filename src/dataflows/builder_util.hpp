@@ -38,6 +38,19 @@ std::unique_ptr<Node> buildSingleOpSubtree(const Workload& workload,
                                            const ArchSpec& spec, OpId op,
                                            int top_level);
 
+/**
+ * Variant for subtrees nested under already-tiled ancestors:
+ * `outer_coverage[dim]` is the trip count the enclosing loops cover,
+ * so this subtree sizes itself to the residual
+ * ceilDiv(extent, outer_coverage) per dim instead of the full extent.
+ * An empty vector means no outer coverage (equivalent to the overload
+ * above).
+ */
+std::unique_ptr<Node>
+buildSingleOpSubtree(const Workload& workload, const ArchSpec& spec,
+                     OpId op, int top_level,
+                     const std::vector<int64_t>& outer_coverage);
+
 } // namespace tileflow
 
 #endif // TILEFLOW_DATAFLOWS_BUILDER_UTIL_HPP

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "dataflows/attention.hpp"
+#include "dataflows/chain.hpp"
 #include "dataflows/convchain.hpp"
 
 namespace tileflow {
@@ -153,6 +154,38 @@ makeConvChainSpace(const Workload& workload, const ArchSpec& spec)
         grain.tW = c[3];
         grain.tL = c[4];
         return buildConvChainTree(workload, spec, grain);
+    };
+    return MappingSpace(std::move(knobs), builder);
+}
+
+MappingSpace
+makeChainSpace(const Workload& workload, const ArchSpec& spec)
+{
+    const std::vector<DimId> shared = chainSharedDims(workload);
+    if (shared.empty())
+        fatal("makeChainSpace: workload '", workload.name(),
+              "' has no dim shared across operators that is safe to "
+              "tile at the root");
+
+    std::vector<Knob> knobs = {
+        {"fused", {1, 0}, true},
+        {"pipeline", {1, 0}, true},
+        {"spatialCores", {1, 0}, true},
+    };
+    for (DimId d : shared) {
+        knobs.push_back({"t" + workload.dim(d).name,
+                         factorMenu(workload.dim(d).extent), false});
+    }
+
+    auto builder = [&workload, &spec,
+                    shared](const std::vector<int64_t>& c) {
+        ChainGrain grain;
+        grain.fused = c[0] != 0;
+        grain.pipeline = c[1] != 0;
+        grain.spatialCores = c[2] != 0;
+        grain.dims = shared;
+        grain.factors.assign(c.begin() + 3, c.end());
+        return buildChainTree(workload, spec, grain);
     };
     return MappingSpace(std::move(knobs), builder);
 }

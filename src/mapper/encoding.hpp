@@ -93,6 +93,16 @@ MappingSpace makeAttentionTilingSpace(const Workload& workload,
 MappingSpace makeConvChainSpace(const Workload& workload,
                                 const ArchSpec& spec);
 
+/**
+ * Workload-agnostic chain space over buildChainTree: structural knobs
+ * {fused, pipeline, spatialCores} and one factor knob per shared dim
+ * (chainSharedDims). Works for any multi-operator workload, e.g.
+ * spec-file workloads whose dim names don't match the attention or
+ * conv-chain builders. fatal() if the workload has no shared dims.
+ */
+MappingSpace makeChainSpace(const Workload& workload,
+                            const ArchSpec& spec);
+
 } // namespace tileflow
 
 #endif // TILEFLOW_MAPPER_ENCODING_HPP

@@ -29,10 +29,12 @@ EvalCache::lookup(const std::vector<int64_t>& choices)
         const auto it = shard.map.find(choices);
         if (it != shard.map.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            metricHits_.add();
             return it->second;
         }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    metricMisses_.add();
     return std::nullopt;
 }
 
@@ -40,8 +42,17 @@ void
 EvalCache::insert(const std::vector<int64_t>& choices, CachedEval value)
 {
     Shard& shard = shardFor(hashChoices(choices));
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map[choices] = value;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map[choices] = value;
+    }
+    metricInserts_.add();
+    if (tracingEnabled()) {
+        // Chrome counter tracks: hit/miss totals over the run's
+        // timeline, sampled at each insert (one per real evaluation).
+        traceCounter("evalcache.hits", double(metricHits_.value()));
+        traceCounter("evalcache.misses", double(metricMisses_.value()));
+    }
 }
 
 size_t
@@ -69,10 +80,19 @@ EvalCache::forEach(const std::function<void(const std::vector<int64_t>&,
 void
 EvalCache::clear()
 {
+    uint64_t evicted = 0;
     for (Shard& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
+        evicted += shard.map.size();
         shard.map.clear();
     }
+    // Counters reset with the entries: a hit rate computed after a
+    // clear must count only post-clear lookups, not stale totals
+    // (the bug this replaces reported rates against pre-clear
+    // denominators across tuner restarts).
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    metricEvictions_.add(evicted);
 }
 
 } // namespace tileflow

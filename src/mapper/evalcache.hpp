@@ -27,6 +27,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.hpp"
+
 namespace tileflow {
 
 /**
@@ -69,6 +71,14 @@ class EvalCache
     /** Memoize a result (last writer wins on a benign race). */
     void insert(const std::vector<int64_t>& choices, CachedEval value);
 
+    /**
+     * Per-instance counters since construction or the last clear().
+     * Searches that need totals scoped to one run must snapshot these
+     * around the run and report the delta (the engines do; see
+     * genetic.cpp / mcts.cpp) — never compare raw totals across a
+     * clear(). The process-cumulative view lives in the global
+     * MetricsRegistry ("evalcache.*"), which clear() does NOT reset.
+     */
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
 
@@ -84,7 +94,12 @@ class EvalCache
     void forEach(const std::function<void(const std::vector<int64_t>&,
                                           const CachedEval&)>& fn) const;
 
-    /** Drop every entry; counters are left untouched. */
+    /**
+     * Drop every entry AND zero the instance hit/miss counters, so
+     * hit rates computed after a clear (tuner restart, rejected
+     * checkpoint) never mix fresh lookups with stale totals. Cleared
+     * entries count as evictions in the metrics registry.
+     */
     void clear();
 
   private:
@@ -109,6 +124,16 @@ class EvalCache
     std::vector<Shard> shards_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+
+    // Process-cumulative mirrors (survive clear(); see DESIGN.md §10).
+    Counter& metricHits_ =
+        MetricsRegistry::global().counter("evalcache.hits");
+    Counter& metricMisses_ =
+        MetricsRegistry::global().counter("evalcache.misses");
+    Counter& metricInserts_ =
+        MetricsRegistry::global().counter("evalcache.inserts");
+    Counter& metricEvictions_ =
+        MetricsRegistry::global().counter("evalcache.evictions");
 };
 
 } // namespace tileflow

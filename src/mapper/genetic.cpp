@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/telemetry.hpp"
 #include "core/validate.hpp"
 #include "mapper/checkpoint.hpp"
 #include "mapper/mcts.hpp"
@@ -18,6 +20,14 @@ namespace tileflow {
 namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+int64_t
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /** Valid individuals first, then by ascending cycles. */
 bool
@@ -61,6 +71,18 @@ GeneticMapper::run()
 {
     GeneticResult result;
 
+    // Wall clock for the time budget. A resumed run restores the
+    // pre-kill elapsed time from the checkpoint and arms the deadline
+    // with only the *remaining* budget — not a fresh full one.
+    const auto run_start = std::chrono::steady_clock::now();
+    int64_t restored_elapsed_ms = 0;
+
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    static Counter& gen_counter =
+        MetricsRegistry::global().counter("ga.generations");
+    static Histogram& gen_hist =
+        MetricsRegistry::global().histogram("ga.generation_ns");
+
     // GA-level randomness (population init, selection, crossover,
     // prescreen resampling) stays on this thread and never interleaves
     // with the workers'.
@@ -79,14 +101,19 @@ GeneticMapper::run()
         own_cache = std::make_unique<EvalCache>();
         cache = own_cache.get();
     }
-    const uint64_t hits_before = cache->hits();
-    const uint64_t misses_before = cache->misses();
+    // Counter snapshots are taken AFTER the checkpoint-restore block
+    // below: a rejected checkpoint clears the cache, which also zeroes
+    // its counters, and a snapshot straddling that reset would make
+    // the per-run deltas wrap. Restore itself does no lookups.
+    uint64_t hits_before = 0;
+    uint64_t misses_before = 0;
     // Pre-kill counter portion restored from a checkpoint.
     uint64_t restored_hits = 0;
     uint64_t restored_misses = 0;
 
-    const StopControl stop(Deadline::afterMs(config_.timeBudgetMs),
-                           config_.cancel, config_.maxEvaluations);
+    // Armed after the restore block, once the pre-kill elapsed time is
+    // known; lambdas below capture it by reference.
+    StopControl stop;
     // Budget accounting shared by all concurrent tuners. Adds are
     // relaxed and the stop decision reads a racy snapshot: budgets
     // are best-effort at >1 thread, exact at one.
@@ -190,6 +217,8 @@ GeneticMapper::run()
                 t = r->d();
             r->tag("evals");
             restored.evaluations = int(r->i64());
+            r->tag("elapsedms");
+            const int64_t ckpt_elapsed_ms = r->i64();
             r->tag("cachedelta");
             restored_hits = r->u64();
             restored_misses = r->u64();
@@ -206,17 +235,35 @@ GeneticMapper::run()
                 best = restored_best;
                 population = std::move(restored_pop);
                 start_gen = int(gen);
+                restored_elapsed_ms = ckpt_elapsed_ms;
                 std::istringstream is(rng_state);
                 is >> rng.engine();
                 global_evals.store(result.evaluations,
                                    std::memory_order_relaxed);
+                // Credit the pre-kill portion into the process-wide
+                // metrics so registry totals equal the checkpoint-
+                // aware totals reported in the result.
+                metrics.counter("mapper.evaluations")
+                    .add(uint64_t(result.evaluations));
+                metrics.counter("mapper.failed_evaluations")
+                    .add(histogramTotal(result.failureHistogram));
+                metrics.counter("evalcache.hits").add(restored_hits);
+                metrics.counter("evalcache.misses").add(restored_misses);
             } else {
                 warn("ga checkpoint '", config_.checkpointPath,
                      "': truncated state; starting fresh");
+                restored_hits = 0;
+                restored_misses = 0;
                 cache->clear();
             }
         }
     }
+
+    hits_before = cache->hits();
+    misses_before = cache->misses();
+    stop = StopControl(Deadline::afterRemainingMs(config_.timeBudgetMs,
+                                                  restored_elapsed_ms),
+                       config_.cancel, config_.maxEvaluations);
 
     auto save_checkpoint = [&](int next_gen) {
         if (config_.checkpointPath.empty())
@@ -236,6 +283,8 @@ GeneticMapper::run()
             w.d(t);
         w.tag("evals");
         w.i64(result.evaluations);
+        w.tag("elapsedms");
+        w.i64(restored_elapsed_ms + msSince(run_start));
         w.tag("cachedelta");
         w.u64(restored_hits + (cache->hits() - hits_before));
         w.u64(restored_misses + (cache->misses() - misses_before));
@@ -256,6 +305,10 @@ GeneticMapper::run()
             population.push_back(random_individual());
     }
 
+    const int64_t evals_at_start =
+        global_evals.load(std::memory_order_relaxed);
+    ProgressMeter progress(config_.progressIntervalMs);
+
     int gens_since_ckpt = 0;
     for (int gen = start_gen; gen < config_.generations; ++gen) {
         if (const char* why = stop.stopReason(
@@ -264,6 +317,10 @@ GeneticMapper::run()
             result.stopReason = why;
             break;
         }
+
+        const TraceSpan gen_span("ga.generation", "mapper");
+        const ScopedLatency gen_timer(gen_hist);
+        gen_counter.add();
 
         // One worker task per individual; each tuner evaluates its own
         // rollout batches inline on the worker it landed on.
@@ -285,6 +342,27 @@ GeneticMapper::run()
             best = population.front();
         }
         result.trace.push_back(best.valid ? best.cycles : kNaN);
+
+        if (progress.due()) {
+            const int64_t evals_now =
+                global_evals.load(std::memory_order_relaxed);
+            const double secs =
+                std::max(1e-3, double(msSince(run_start)) / 1e3);
+            const uint64_t h = cache->hits() - hits_before;
+            const uint64_t m = cache->misses() - misses_before;
+            const int64_t left = stop.deadline().remainingMs();
+            inform("progress: gen ", gen + 1, "/", config_.generations,
+                   " best=",
+                   best.valid ? concat(uint64_t(best.cycles), " cycles")
+                              : std::string("none"),
+                   " evals=", evals_now, " (",
+                   uint64_t(double(evals_now - evals_at_start) / secs),
+                   "/s) cache-hit=",
+                   h + m > 0 ? int(100.0 * double(h) / double(h + m)) : 0,
+                   "% deadline=",
+                   left < 0 ? std::string("unlimited")
+                            : concat(left, "ms"));
+        }
 
         // A generation whose tuners were cut short by the budget is
         // degraded: report its best-so-far but never checkpoint it —
@@ -348,6 +426,7 @@ GeneticMapper::run()
     result.cacheHits = restored_hits + (cache->hits() - hits_before);
     result.cacheMisses =
         restored_misses + (cache->misses() - misses_before);
+    result.elapsedMs = restored_elapsed_ms + msSince(run_start);
     return result;
 }
 

@@ -93,6 +93,11 @@ struct GeneticConfig
     /** Resample attempts per offspring slot when pre-screening
      *  rejects a candidate; the last attempt is kept regardless. */
     int prescreenRetries = 4;
+
+    /** Emit an inform() progress line (best-so-far, evals/sec, cache
+     *  hit rate, deadline remaining) at most every this many
+     *  milliseconds, polled at generation boundaries (<= 0: off). */
+    int64_t progressIntervalMs = 0;
 };
 
 /** One evolved individual. */
@@ -137,6 +142,11 @@ struct GeneticResult
     /** Offspring rejected by the cheap validateTree pre-screen before
      *  any evaluation was paid for. */
     uint64_t prescreenRejects = 0;
+
+    /** Wall-clock consumed by the search, checkpoint-aware: a resumed
+     *  run includes the pre-kill portion. This is the elapsed time the
+     *  time budget is charged against across kill/resume cycles. */
+    int64_t elapsedMs = 0;
 };
 
 /** The GA driver; composes with MctsTuner per individual. */

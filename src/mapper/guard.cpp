@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 
 namespace tileflow {
 
@@ -11,6 +12,16 @@ CachedEval
 guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
                 const std::vector<int64_t>& choices)
 {
+    // The single chokepoint every real (non-memoized) search
+    // evaluation passes through, in both the GA and MCTS paths — so
+    // this counter, plus the restored-portion credit the engines add
+    // on checkpoint resume, always equals MapperResult::evaluations.
+    static Counter& evals =
+        MetricsRegistry::global().counter("mapper.evaluations");
+    static Counter& failed =
+        MetricsRegistry::global().counter("mapper.failed_evaluations");
+    evals.add();
+
     CachedEval out;
     try {
         const AnalysisTree tree = space.build(choices);
@@ -30,6 +41,8 @@ guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
         out.failed = true;
         out.failReason = concat("unexpected exception: ", e.what());
     }
+    if (out.failed)
+        failed.add();
     return out;
 }
 

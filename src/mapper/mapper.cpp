@@ -20,6 +20,7 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     ga.cancel = config.cancel;
     ga.checkpointPath = config.checkpointPath;
     ga.checkpointEveryGens = config.checkpointEveryRounds;
+    ga.progressIntervalMs = config.progressIntervalMs;
 
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
     EvalCache cache;
@@ -38,6 +39,7 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     result.failureHistogram = ga_result.failureHistogram;
     result.failedEvaluations = histogramTotal(result.failureHistogram);
     result.prescreenRejects = ga_result.prescreenRejects;
+    result.elapsedMs = ga_result.elapsedMs;
     if (ga_result.best.valid) {
         result.found = true;
         result.bestCycles = ga_result.best.cycles;
@@ -63,6 +65,7 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
     tuner.setCache(&cache);
     tuner.setBatch(config.mctsBatch);
     tuner.setStop(&stop);
+    tuner.setProgress(config.progressIntervalMs);
     if (!config.checkpointPath.empty()) {
         tuner.setCheckpoint(config.checkpointPath,
                             config.checkpointEveryBatches, seed);
@@ -82,6 +85,7 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
     result.resumed = tuned.resumed;
     result.failureHistogram = tuned.failureHistogram;
     result.failedEvaluations = histogramTotal(result.failureHistogram);
+    result.elapsedMs = tuned.elapsedMs;
     if (tuned.found) {
         result.found = true;
         result.bestCycles = tuned.bestCycles;

@@ -78,6 +78,12 @@ struct MapperConfig
 
     /** MCTS batches between checkpoint writes (tiling-only search). */
     int checkpointEveryBatches = 8;
+
+    /** Emit an inform() progress line (best-so-far, evals/sec, cache
+     *  hit rate, deadline remaining) at most every this many
+     *  milliseconds, polled at the StopControl polling points
+     *  (generation / rollout-batch boundaries). <= 0 disables. */
+    int64_t progressIntervalMs = 0;
 };
 
 /** Exploration outcome. */
@@ -121,6 +127,11 @@ struct MapperResult
     /** Offspring rejected by the GA's cheap validateTree pre-screen
      *  (counted separately from runtime infeasibility). */
     uint64_t prescreenRejects = 0;
+
+    /** Wall clock consumed by the search, checkpoint-aware: a resumed
+     *  run includes the pre-kill portion, matching what the time
+     *  budget was charged with. */
+    int64_t elapsedMs = 0;
 
     explicit MapperResult(const Workload& workload)
         : bestTree(workload)

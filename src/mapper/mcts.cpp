@@ -1,17 +1,27 @@
 #include "mapper/mcts.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 #include "mapper/checkpoint.hpp"
 
 namespace tileflow {
 
 namespace {
+
+int64_t
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /** One node of the search tree: a prefix of factor decisions. */
 struct SearchNode
@@ -76,9 +86,23 @@ MctsResult
 MctsTuner::tune(const std::vector<int64_t>& base, int samples)
 {
     MctsResult result;
+
+    const auto run_start = std::chrono::steady_clock::now();
+    int64_t restored_elapsed_ms = 0;
+
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    static Counter& batch_counter =
+        MetricsRegistry::global().counter("mcts.batches");
+    static Counter& sample_counter =
+        MetricsRegistry::global().counter("mcts.samples");
+    static Histogram& batch_hist =
+        MetricsRegistry::global().histogram("mcts.batch_ns");
+
     const std::vector<size_t> factor_idx = space_->factorKnobs();
-    const uint64_t hits_before = cache_ ? cache_->hits() : 0;
-    const uint64_t misses_before = cache_ ? cache_->misses() : 0;
+    // Re-snapshotted after the restore block: a rejected checkpoint
+    // clears the cache, which also zeroes its counters.
+    uint64_t hits_before = cache_ ? cache_->hits() : 0;
+    uint64_t misses_before = cache_ ? cache_->misses() : 0;
     // Pre-kill counter portion restored from a checkpoint.
     uint64_t restored_hits = 0;
     uint64_t restored_misses = 0;
@@ -113,6 +137,7 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
             result.cacheHits = cache_->hits() - hits_before;
             result.cacheMisses = cache_->misses() - misses_before;
         }
+        result.elapsedMs = msSince(run_start);
         return result;
     }
 
@@ -153,6 +178,8 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 t = r->d();
             r->tag("evals");
             restored.evaluations = int(r->i64());
+            r->tag("elapsedms");
+            const int64_t ckpt_elapsed_ms = r->i64();
             r->tag("cachedelta");
             restored_hits = r->u64();
             restored_misses = r->u64();
@@ -169,6 +196,7 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 root = std::move(restored_root);
                 best = restored_best;
                 done = int(restored_done);
+                restored_elapsed_ms = ckpt_elapsed_ms;
                 std::istringstream is(rng_state);
                 is >> rng_->engine();
                 if (globalEvals_) {
@@ -176,14 +204,33 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                         result.evaluations,
                         std::memory_order_relaxed);
                 }
+                // Credit the pre-kill portion into the process-wide
+                // metrics (see genetic.cpp for the rationale).
+                metrics.counter("mapper.evaluations")
+                    .add(uint64_t(result.evaluations));
+                metrics.counter("mapper.failed_evaluations")
+                    .add(histogramTotal(result.failureHistogram));
+                metrics.counter("evalcache.hits").add(restored_hits);
+                metrics.counter("evalcache.misses").add(restored_misses);
             } else {
                 warn("mcts checkpoint '", ckptPath_,
                      "': truncated state; starting fresh");
+                restored_hits = 0;
+                restored_misses = 0;
                 if (cache_)
                     cache_->clear();
             }
         }
     }
+
+    // Snapshot after the restore (and its possible counter-resetting
+    // clear); arm the stop predicate with only the remaining time
+    // budget — the pre-kill elapsed wall clock is already spent.
+    hits_before = cache_ ? cache_->hits() : 0;
+    misses_before = cache_ ? cache_->misses() : 0;
+    StopControl stop = stop_ ? *stop_ : StopControl();
+    if (restored_elapsed_ms > 0)
+        stop = stop.withElapsedCredit(restored_elapsed_ms);
 
     auto save_checkpoint = [&]() {
         if (ckptPath_.empty())
@@ -205,6 +252,8 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
             w.d(t);
         w.tag("evals");
         w.i64(result.evaluations);
+        w.tag("elapsedms");
+        w.i64(restored_elapsed_ms + msSince(run_start));
         w.tag("cachedelta");
         w.u64(restored_hits + (cache_ ? cache_->hits() - hits_before
                                       : 0));
@@ -223,16 +272,19 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         w.writeTo(ckptPath_);
     };
 
+    ProgressMeter progress(progressIntervalMs_);
+    const int done_at_start = done;
+
     int batches_since_ckpt = 0;
     while (done < samples) {
         // Batches are the atomic unit: stop checks and checkpoints
         // only happen here, so persisted state is always consistent.
-        if (stop_) {
+        {
             const int64_t charged =
                 globalEvals_
                     ? globalEvals_->load(std::memory_order_relaxed)
                     : result.evaluations;
-            if (const char* why = stop_->stopReason(charged)) {
+            if (const char* why = stop.stopReason(charged)) {
                 result.timedOut = true;
                 result.stopReason = why;
                 save_checkpoint();
@@ -240,8 +292,13 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
             }
         }
 
+        const TraceSpan batch_span("mcts.batch", "mapper");
+        const ScopedLatency batch_timer(batch_hist);
+        batch_counter.add();
+
         const int batch =
             std::min(batch_, samples - done);
+        sample_counter.add(uint64_t(batch));
         std::vector<PendingSample> pending;
         pending.reserve(size_t(batch));
 
@@ -366,6 +423,24 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         }
         done += batch;
 
+        if (progress.due()) {
+            const double secs =
+                std::max(1e-3, double(msSince(run_start)) / 1e3);
+            const uint64_t h = cache_ ? cache_->hits() - hits_before : 0;
+            const uint64_t m =
+                cache_ ? cache_->misses() - misses_before : 0;
+            const int64_t left = stop.deadline().remainingMs();
+            inform("progress: sample ", done, "/", samples, " best=",
+                   result.found ? concat(uint64_t(best), " cycles")
+                                : std::string("none"),
+                   " (", uint64_t(double(done - done_at_start) / secs),
+                   " samples/s) cache-hit=",
+                   h + m > 0 ? int(100.0 * double(h) / double(h + m)) : 0,
+                   "% deadline=",
+                   left < 0 ? std::string("unlimited")
+                            : concat(left, "ms"));
+        }
+
         if (!ckptPath_.empty() && ++batches_since_ckpt >= ckptEvery_) {
             save_checkpoint();
             batches_since_ckpt = 0;
@@ -381,6 +456,7 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         result.cacheMisses =
             restored_misses + (cache_->misses() - misses_before);
     }
+    result.elapsedMs = restored_elapsed_ms + msSince(run_start);
     return result;
 }
 

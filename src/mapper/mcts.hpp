@@ -89,6 +89,10 @@ struct MctsResult
 
     /** Failed (throwing / NaN-poisoned) samples, by reason. */
     FailureHistogram failureHistogram;
+
+    /** Wall-clock consumed, checkpoint-aware: a resumed run includes
+     *  the pre-kill portion (what the time budget is charged with). */
+    int64_t elapsedMs = 0;
 };
 
 /** MCTS tuner for the factor knobs of a mapping space. */
@@ -146,6 +150,11 @@ class MctsTuner
         ckptSalt_ = salt;
     }
 
+    /** Emit an inform() progress line at most every `interval_ms`
+     *  (polled at batch boundaries; <= 0 disables — the default, and
+     *  what the GA leaves in place for its per-individual tuners). */
+    void setProgress(int64_t interval_ms) { progressIntervalMs_ = interval_ms; }
+
     /**
      * Tune the factor knobs while holding the structural knobs at the
      * values in `base` (a full choice vector; its factor entries seed
@@ -168,6 +177,7 @@ class MctsTuner
     std::string ckptPath_;
     int ckptEvery_ = 1;
     uint64_t ckptSalt_ = 0;
+    int64_t progressIntervalMs_ = 0;
 };
 
 } // namespace tileflow

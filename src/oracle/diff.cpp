@@ -9,6 +9,7 @@
 #include "analysis/slice.hpp"
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "common/telemetry.hpp"
 
 namespace tileflow {
 
@@ -171,6 +172,13 @@ DiffReport
 diffModelVsOracle(const Workload& workload, const ArchSpec& spec,
                   const AnalysisTree& tree, OracleLimits limits)
 {
+    static tileflow::Counter& diffs =
+        MetricsRegistry::global().counter("oracle.diffs");
+    static tileflow::Counter& violations =
+        MetricsRegistry::global().counter("oracle.violations");
+    diffs.add();
+    TraceSpan span("oracle.diff", "oracle");
+
     DiffReport report;
     report.exactClass = isExactClass(workload, spec, tree);
 
@@ -244,6 +252,7 @@ diffModelVsOracle(const Workload& workload, const ArchSpec& spec,
                         " exceeds oracle peak ", o_fp));
         }
     }
+    violations.add(report.violations.size());
     return report;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 
 namespace tileflow {
 
@@ -31,6 +32,10 @@ struct DramRequest
 SimResult
 AcceleratorSimulator::run(const SimTrace& trace) const
 {
+    static Counter& runs = MetricsRegistry::global().counter("sim.runs");
+    runs.add();
+    TraceSpan span("sim.run", "sim");
+
     SimResult result;
     if (trace.coreTasks.empty())
         return result;
@@ -149,9 +154,17 @@ AcceleratorSimulator::run(const SimTrace& trace) const
     if (result.energyPJ < 0.0) {
         // The analytical estimate can be smaller than the DRAM energy
         // credit when the trace reorders traffic; energy is physical
-        // and never negative.
-        inform("simulator: clamping negative energy estimate (",
-               result.energyPJ, " pJ) to 0");
+        // and never negative. This fires once per mapping swept, so
+        // warn on the first occurrence only; the total lives in the
+        // "sim.energy_clamps" counter (reported in --metrics-out).
+        static Counter& clamps =
+            MetricsRegistry::global().counter("sim.energy_clamps");
+        if (clamps.add() == 0) {
+            inform("simulator: clamping negative energy estimate (",
+                   result.energyPJ,
+                   " pJ) to 0; further occurrences counted in "
+                   "sim.energy_clamps");
+        }
         result.energyPJ = 0.0;
     }
     return result;

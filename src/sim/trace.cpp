@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 
 namespace tileflow {
 
@@ -10,6 +11,11 @@ SimTrace
 generateTrace(const AnalysisTree& tree, const ArchSpec& spec,
               const EvalResult& result)
 {
+    static Counter& lowered =
+        MetricsRegistry::global().counter("sim.traces");
+    lowered.add();
+    TraceSpan span("sim.lower_trace", "sim");
+
     SimTrace trace;
     if (!tree.hasRoot() || !result.valid)
         return trace;

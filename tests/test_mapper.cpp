@@ -10,7 +10,10 @@
 #include <cmath>
 
 #include "arch/presets.hpp"
+#include "core/validate.hpp"
 #include "dataflows/attention.hpp"
+#include "dataflows/chain.hpp"
+#include "frontend/loader.hpp"
 #include "ir/shapes.hpp"
 #include "mapper/mapper.hpp"
 
@@ -62,6 +65,80 @@ TEST(Encoding, ConvSpaceStructure)
     EXPECT_EQ(space.factorKnobs().size(), 3u);
     const AnalysisTree tree = space.build(space.defaultChoices());
     EXPECT_TRUE(tree.hasRoot());
+}
+
+/** Validation errors only (V305-style advisories are prefixed). */
+std::vector<std::string>
+validationErrors(const AnalysisTree& tree, const ArchSpec& spec)
+{
+    std::vector<std::string> errors;
+    for (const std::string& p : validateTree(tree, &spec)) {
+        if (p.rfind("warn: ", 0) != 0)
+            errors.push_back(p);
+    }
+    return errors;
+}
+
+TEST(Encoding, ChainSpaceStructureOnFig4Workload)
+{
+    const Workload w = loadWorkloadSpecOrDie(
+        std::string(TILEFLOW_SPECS_DIR) + "/fig4.wl");
+    const ArchSpec edge = makeEdgeArch();
+
+    // fig4 shares i and l across its three ops; k is blocked (op A
+    // reduces it and produces an intermediate), j is private to C.
+    const std::vector<DimId> shared = chainSharedDims(w);
+    ASSERT_EQ(shared.size(), 2u);
+    for (DimId d : shared)
+        EXPECT_TRUE(w.dim(d).name == "i" || w.dim(d).name == "l");
+
+    const MappingSpace space = makeChainSpace(w, edge);
+    EXPECT_EQ(space.structuralKnobs().size(), 3u);
+    EXPECT_EQ(space.factorKnobs().size(), shared.size());
+
+    // Every structural combination must build a validation-clean tree
+    // at both the smallest and the largest tiling choices.
+    for (int fused : {0, 1}) {
+        for (int pipeline : {0, 1}) {
+            for (int cores : {0, 1}) {
+                for (bool max_factors : {false, true}) {
+                    std::vector<int64_t> c = {fused, pipeline, cores};
+                    for (size_t k : space.factorKnobs()) {
+                        const auto& menu = space.knobs()[k].choices;
+                        c.push_back(max_factors ? menu.back()
+                                                : menu.front());
+                    }
+                    const AnalysisTree tree = space.build(c);
+                    EXPECT_TRUE(validationErrors(tree, edge).empty())
+                        << "fused=" << fused << " pipe=" << pipeline
+                        << " cores=" << cores << " max=" << max_factors;
+                }
+            }
+        }
+    }
+}
+
+TEST(Mapper, ChainSpaceSearchFindsValidFig4Mapping)
+{
+    const Workload w = loadWorkloadSpecOrDie(
+        std::string(TILEFLOW_SPECS_DIR) + "/fig4.wl");
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeChainSpace(w, edge);
+
+    MapperConfig cfg;
+    cfg.rounds = 2;
+    cfg.population = 4;
+    cfg.tilingSamples = 8;
+    cfg.seed = 11;
+    cfg.threads = 1;
+    const MapperResult result = exploreSpace(model, space, cfg);
+
+    ASSERT_TRUE(result.found);
+    EXPECT_GT(result.evaluations, 0);
+    EXPECT_TRUE(std::isfinite(result.bestCycles));
+    EXPECT_GT(result.bestCycles, 0.0);
+    EXPECT_TRUE(validationErrors(result.bestTree, edge).empty());
 }
 
 TEST(Mcts, FindsValidMappingAndImproves)

@@ -1,0 +1,19 @@
+# Fixture-setup script: run a short instrumented mapper_search and
+# leave trace.json / metrics.json in OUT_DIR for the schema checks.
+# A CMake script (not add_test COMMAND directly) so the output
+# directory is created fresh each run.
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+execute_process(
+    COMMAND ${MAPPER_SEARCH}
+        --workload ${SPECS_DIR}/fig4.wl
+        --max-evals 250
+        --trace-out ${OUT_DIR}/trace.json
+        --metrics-out ${OUT_DIR}/metrics.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "mapper_search smoke run failed (rc=${rc}):\n${out}\n${err}")
+endif()
