@@ -9,6 +9,15 @@
  *            [--time-budget-ms N] [--max-evals N] [--checkpoint PATH]
  *            [--arch FILE] [--workload FILE]
  *            [--trace-out FILE] [--metrics-out FILE] [--progress-ms N]
+ *            [--no-incremental] [--subtree-cache-cap N]
+ *            [--eval-cache-cap N]
+ *
+ * Candidate evaluations run through the subtree-memoized incremental
+ * path by default (bit-identical results, higher throughput; counters
+ * analysis.subtree_hits/misses say how much re-analysis was skipped).
+ * --no-incremental selects the plain evaluator;
+ * --subtree-cache-cap / --eval-cache-cap bound the per-shard entry
+ * counts of the two caches (0 = unbounded).
  *
  * --arch loads an architecture spec (see examples/specs/) instead of
  * the built-in Edge preset. --workload loads a workload spec instead
@@ -145,6 +154,12 @@ main(int argc, char** argv)
             metrics_path = value();
         } else if (arg == "--progress-ms") {
             cfg.progressIntervalMs = std::atoll(value());
+        } else if (arg == "--no-incremental") {
+            cfg.incremental = false;
+        } else if (arg == "--subtree-cache-cap") {
+            cfg.subtreeCacheCap = size_t(std::atoll(value()));
+        } else if (arg == "--eval-cache-cap") {
+            cfg.evalCacheCap = size_t(std::atoll(value()));
         } else if (arg == "--arch") {
             arch_path = value();
         } else if (arg == "--workload") {

@@ -234,43 +234,19 @@ simulateStep(const Workload& workload, const StepGeometry& geom,
 DataMovementResult
 DataMovementAnalyzer::analyze(const AnalysisTree& tree) const
 {
-    DataMovementResult result;
-    result.levels.assign(size_t(spec_->numLevels()), LevelTraffic{});
+    return analyze(tree, PartialLookup{}, PartialRecord{});
+}
 
-    if (!tree.hasRoot())
-        return result;
+DmNodePartial
+DataMovementAnalyzer::analyzeTile(const Node* node) const
+{
+    const StepGeometry geom(*workload_, node);
+    const ChildGroup group = childGroupOf(node);
+    const size_t num_children = group.children.size();
+    const int level = node->memLevel();
+    const double executions = double(executionCount(node));
 
-    // Compute op counts once.
-    for (const Node* leaf : tree.root()->opLeaves()) {
-        const Operator& op = workload_->op(leaf->op());
-        double effective = op.opsPerPoint();
-        double padded = op.opsPerPoint();
-        for (DimId dim : op.dims()) {
-            effective *= double(workload_->dim(dim).extent);
-            padded *= double(pathSpan(tree.root(), leaf, dim));
-        }
-        result.effectiveOps += effective;
-        result.paddedOps += padded;
-        if (op.kind() == ComputeKind::Matrix)
-            result.effectiveMatrixOps += effective;
-    }
-
-    // Walk all Tile nodes.
-    std::vector<const Node*> stack{tree.root()};
-    while (!stack.empty()) {
-        const Node* node = stack.back();
-        stack.pop_back();
-        for (const auto& child : node->children())
-            stack.push_back(child.get());
-        if (!node->isTile())
-            continue;
-
-        const StepGeometry geom(*workload_, node);
-        const ChildGroup group = childGroupOf(node);
-        const size_t num_children = group.children.size();
-        const int level = node->memLevel();
-        const double executions = double(executionCount(node));
-
+    {
         // Seq's evictions defeat reuse across irrelevant loops, so it
         // falls back to the paper's conservative adjacent-step deltas.
         const bool conservative = group.binding == ScopeKind::Seq &&
@@ -378,22 +354,85 @@ DataMovementAnalyzer::analyze(const AnalysisTree& tree) const
             }
         }
 
-        // All contributions arrive pre-scaled to whole-run totals; the
-        // per-node record keeps the per-execution average for the
-        // latency model.
-        result.perNode[node] =
-            NodeTraffic{load / executions, store / executions};
+        // All contributions arrive pre-scaled to whole-run totals.
+        DmNodePartial partial;
+        partial.loadBytes = load;
+        partial.storeBytes = store;
+        partial.childFill = std::move(child_fill);
+        partial.childDrain = std::move(child_drain);
+        partial.childLevels.reserve(num_children);
+        for (const ChildInfo& child : group.children)
+            partial.childLevels.push_back(child.level);
+        return partial;
+    }
+}
 
-        auto& lvl = result.levels[size_t(level)];
-        lvl.readBytes += load;
-        lvl.updateBytes += store;
-        for (size_t j = 0; j < num_children; ++j) {
-            const int child_level = group.children[j].level;
+DataMovementResult
+DataMovementAnalyzer::analyze(const AnalysisTree& tree,
+                              const PartialLookup& lookup,
+                              const PartialRecord& record) const
+{
+    DataMovementResult result;
+    result.levels.assign(size_t(spec_->numLevels()), LevelTraffic{});
+
+    if (!tree.hasRoot())
+        return result;
+
+    // Compute op counts once. pathSpan is cheap and exact (int64), so
+    // op counts are always recomputed, never cached.
+    for (const Node* leaf : tree.root()->opLeaves()) {
+        const Operator& op = workload_->op(leaf->op());
+        double effective = op.opsPerPoint();
+        double padded = op.opsPerPoint();
+        for (DimId dim : op.dims()) {
+            effective *= double(workload_->dim(dim).extent);
+            padded *= double(pathSpan(tree.root(), leaf, dim));
+        }
+        result.effectiveOps += effective;
+        result.paddedOps += padded;
+        if (op.kind() == ComputeKind::Matrix)
+            result.effectiveMatrixOps += effective;
+    }
+
+    // Walk all Tile nodes. Cached and fresh partials feed the same
+    // accumulation statements in the same traversal order with the
+    // same values, so the floating-point totals are bit-identical
+    // whether a node's contribution came from the cache or not.
+    std::vector<const Node*> stack{tree.root()};
+    while (!stack.empty()) {
+        const Node* node = stack.back();
+        stack.pop_back();
+        for (const auto& child : node->children())
+            stack.push_back(child.get());
+        if (!node->isTile())
+            continue;
+
+        const DmNodePartial* partial = lookup ? lookup(node) : nullptr;
+        DmNodePartial computed;
+        if (partial == nullptr) {
+            computed = analyzeTile(node);
+            if (record)
+                record(node, computed);
+            partial = &computed;
+        }
+
+        // The per-node record keeps the per-execution average for the
+        // latency model.
+        const double executions = double(executionCount(node));
+        result.perNode[node] =
+            NodeTraffic{partial->loadBytes / executions,
+                        partial->storeBytes / executions};
+
+        auto& lvl = result.levels[size_t(node->memLevel())];
+        lvl.readBytes += partial->loadBytes;
+        lvl.updateBytes += partial->storeBytes;
+        for (size_t j = 0; j < partial->childLevels.size(); ++j) {
+            const int child_level = partial->childLevels[j];
             if (child_level < 0)
                 continue; // op leaf: operands feed the PEs directly
             auto& clvl = result.levels[size_t(child_level)];
-            clvl.fillBytes += child_fill[j];
-            clvl.readBytes += child_drain[j];
+            clvl.fillBytes += partial->childFill[j];
+            clvl.readBytes += partial->childDrain[j];
         }
     }
     return result;

@@ -26,6 +26,7 @@
 #ifndef TILEFLOW_ANALYSIS_DATAMOVEMENT_HPP
 #define TILEFLOW_ANALYSIS_DATAMOVEMENT_HPP
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -80,6 +81,26 @@ struct DataMovementResult
     std::string str(const ArchSpec& spec) const;
 };
 
+/**
+ * Whole-run traffic contribution of one Tile node — the expensive part
+ * of the analysis (resident-rectangle simulation per loop boundary).
+ * The values depend only on the node's subtree and its ancestor Tile
+ * loops, so the incremental evaluator caches them under
+ * (subtreeHash, contextSignature); see analysis/subtreecache.hpp.
+ */
+struct DmNodePartial
+{
+    /** Bytes this level reads from above / writes upward, whole-run. */
+    double loadBytes = 0.0;
+    double storeBytes = 0.0;
+
+    /** Per child-group slot: bytes filled into / drained out of the
+     *  child's buffer, and the child's memory level (-1 = op leaf). */
+    std::vector<double> childFill;
+    std::vector<double> childDrain;
+    std::vector<int> childLevels;
+};
+
 /** The Sec. 5.1 analyzer. Stateless apart from workload/arch refs. */
 class DataMovementAnalyzer
 {
@@ -90,6 +111,29 @@ class DataMovementAnalyzer
     }
 
     DataMovementResult analyze(const AnalysisTree& tree) const;
+
+    /** Cached per-node partial for a Tile node, or nullptr to compute
+     *  it fresh. */
+    using PartialLookup = std::function<const DmNodePartial*(const Node*)>;
+
+    /** Invoked with every freshly computed per-node partial. */
+    using PartialRecord =
+        std::function<void(const Node*, const DmNodePartial&)>;
+
+    /**
+     * Like analyze(tree), but per-Tile-node contributions can be
+     * served from / recorded into a cache. The aggregation loop is
+     * shared with the plain overload and accumulates cached and fresh
+     * partials in the identical order with identical values, so the
+     * result is bit-identical to a fresh full analysis (the
+     * incremental evaluator's property tests assert this).
+     */
+    DataMovementResult analyze(const AnalysisTree& tree,
+                               const PartialLookup& lookup,
+                               const PartialRecord& record) const;
+
+    /** Whole-run traffic of one Tile node (the per-node hot path). */
+    DmNodePartial analyzeTile(const Node* node) const;
 
   private:
     const Workload* workload_;

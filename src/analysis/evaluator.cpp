@@ -1,5 +1,6 @@
 #include "analysis/evaluator.hpp"
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -71,13 +72,9 @@ Evaluator::evaluate(const AnalysisTree& tree) const
             resource_analyzer.analyze(tree, options_.enforceMemory);
     }
 
-    if (options_.enforceMemory && !result.resources.fitsMemory) {
-        result.problems = result.resources.violations;
-        invalid.add();
-        return result;
-    }
-    if (options_.enforceCompute && !result.resources.fitsCompute) {
-        result.problems = result.resources.violations;
+    if ((options_.enforceMemory && !result.resources.fitsMemory) ||
+        (options_.enforceCompute && !result.resources.fitsCompute)) {
+        result.problems = enforcementProblems(options_, result.resources);
         invalid.add();
         return result;
     }
@@ -100,6 +97,23 @@ Evaluator::evaluate(const AnalysisTree& tree) const
     return result;
 }
 
+std::vector<std::string>
+enforcementProblems(const EvalOptions& options,
+                    const ResourceResult& resources)
+{
+    std::vector<std::string> problems;
+    if (options.enforceMemory && !resources.fitsMemory) {
+        problems.insert(problems.end(), resources.memoryViolations.begin(),
+                        resources.memoryViolations.end());
+    }
+    if (options.enforceCompute && !resources.fitsCompute) {
+        problems.insert(problems.end(),
+                        resources.computeViolations.begin(),
+                        resources.computeViolations.end());
+    }
+    return problems;
+}
+
 std::string
 EvalResult::str(const ArchSpec& spec) const
 {
@@ -108,6 +122,16 @@ EvalResult::str(const ArchSpec& spec) const
         os << "INVALID mapping:\n";
         for (const std::string& problem : problems)
             os << "  " << problem << "\n";
+        return os.str();
+    }
+    if (!std::isfinite(cycles) || !std::isfinite(energyPJ) ||
+        !std::isfinite(utilization)) {
+        // A poisoned result (injected fault, upstream NaN) must not
+        // render as plausible numbers.
+        os << "POISONED (non-finite) result:\n";
+        os << "  cycles: " << cycles << "\n";
+        os << "  energy_pj: " << energyPJ << "\n";
+        os << "  utilization: " << utilization << "\n";
         return os.str();
     }
     os << "cycles: " << humanCount(cycles) << " (" << fmt(runtimeMs(spec), 3)

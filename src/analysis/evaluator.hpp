@@ -65,6 +65,18 @@ struct EvalResult
 };
 
 /**
+ * The problems an enforcement failure reports: only the violation
+ * class(es) whose enforcement actually gated the result. A mapping
+ * rejected for a memory overflow under enforceCompute = false must
+ * not drag unrelated (unenforced) compute violations into
+ * EvalResult::problems, and vice versa. Shared by Evaluator and
+ * IncrementalEvaluator so the two paths can never drift.
+ */
+std::vector<std::string>
+enforcementProblems(const EvalOptions& options,
+                    const ResourceResult& resources);
+
+/**
  * The performance model of TileFlow.
  *
  * Thread-safety: evaluate() is reentrant. It holds no mutable state —

@@ -1,0 +1,224 @@
+#include "analysis/incremental.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "common/telemetry.hpp"
+#include "core/validate.hpp"
+
+namespace tileflow {
+
+namespace {
+
+/**
+ * Per-Tile-node working state for one evaluate() call. `cached` is the
+ * one cache lookup the pre-pass performs; the fresh* flags say which
+ * partials this evaluation computed itself and therefore owes back to
+ * the cache.
+ */
+struct Slot
+{
+    SubtreeKey key;
+    std::optional<SubtreePartial> cached;
+    SubtreePartial fresh;
+    bool freshDm = false;
+    bool freshFp = false;
+    bool freshLat = false;  ///< memory-pass latency
+    bool freshPure = false; ///< pure-compute-pass latency
+};
+
+} // namespace
+
+EvalResult
+IncrementalEvaluator::evaluate(const AnalysisTree& tree) const
+{
+    static Counter& calls =
+        MetricsRegistry::global().counter("analysis.incremental_evals");
+    static Counter& invalid =
+        MetricsRegistry::global().counter("analysis.invalid_mappings");
+    static Histogram& latency_hist = MetricsRegistry::global().histogram(
+        "analysis.incremental_evaluate_ns");
+    calls.add();
+    const ScopedLatency timer(latency_hist);
+    const TraceSpan span("evaluate", "analysis");
+
+    const Workload& workload = base_->workload();
+    const ArchSpec& spec = base_->spec();
+    const EvalOptions& options = base_->options();
+
+    EvalResult result;
+
+    // Mirror the base evaluator's fault hook exactly: injected faults
+    // must not depend on which path evaluated the tree.
+    if (const FaultInjector* injector = base_->faultInjector()) {
+        switch (injector->decide(tree)) {
+        case FaultKind::Throw:
+            fatal("injected evaluator fault (seed ", injector->seed(),
+                  ")");
+        case FaultKind::Nan:
+            result.valid = true;
+            result.cycles = std::numeric_limits<double>::quiet_NaN();
+            return result;
+        case FaultKind::None:
+            break;
+        }
+    }
+
+    if (options.validate) {
+        const TraceSpan phase("evaluate.validate", "analysis");
+        for (const std::string& problem : validateTree(tree, &spec)) {
+            if (!startsWith(problem, "warn:")) {
+                result.problems.push_back(problem);
+            }
+        }
+        if (!result.problems.empty()) {
+            invalid.add();
+            return result;
+        }
+    }
+
+    // Pre-pass: exactly ONE cache lookup per Tile node, so
+    // subtree_hits + subtree_misses == subtree_lookups by construction
+    // (tools/telemetry_check enforces it).
+    std::vector<Slot> slots;
+    std::unordered_map<const Node*, size_t> index;
+    if (tree.hasRoot()) {
+        std::vector<const Node*> stack{tree.root()};
+        while (!stack.empty()) {
+            const Node* node = stack.back();
+            stack.pop_back();
+            for (const auto& child : node->children())
+                stack.push_back(child.get());
+            if (!node->isTile())
+                continue;
+            Slot slot;
+            slot.key =
+                SubtreeKey{subtreeHash(node), contextSignature(node)};
+            slot.cached = cache_->lookup(slot.key);
+            index.emplace(node, slots.size());
+            slots.push_back(std::move(slot));
+        }
+    }
+    auto slotOf = [&](const Node* node) -> Slot& {
+        return slots[index.at(node)];
+    };
+
+    // Give freshly computed partials back to the cache. Runs before
+    // every post-resource return, so even an enforcement-failed
+    // evaluation contributes its dm/footprint work (latency fields are
+    // marked absent and upgraded by a later evaluation that reaches
+    // the phase — last writer wins).
+    auto flush = [&]() {
+        for (Slot& slot : slots) {
+            if (!slot.freshDm && !slot.freshFp && !slot.freshLat &&
+                !slot.freshPure)
+                continue; // fully served from cache; nothing new
+            SubtreePartial merged;
+            merged.dm = slot.freshDm ? std::move(slot.fresh.dm)
+                                     : slot.cached->dm;
+            merged.footprintBytes = slot.freshFp
+                                        ? slot.fresh.footprintBytes
+                                        : slot.cached->footprintBytes;
+            if (slot.freshLat && slot.freshPure) {
+                merged.hasLatency = true;
+                merged.cycles = slot.fresh.cycles;
+                merged.computeCycles = slot.fresh.computeCycles;
+            } else if (!slot.freshLat && !slot.freshPure &&
+                       slot.cached && slot.cached->hasLatency) {
+                merged.hasLatency = true;
+                merged.cycles = slot.cached->cycles;
+                merged.computeCycles = slot.cached->computeCycles;
+            }
+            // A lone freshLat (memory pass recomputed under a pure-pass
+            // ancestor hit, e.g. after this node's entry was evicted)
+            // stays hasLatency = false: its pure-pass twin was never
+            // computed and storing a zero would poison later hits.
+            cache_->insert(slot.key, merged);
+        }
+    };
+
+    {
+        const TraceSpan phase("evaluate.data_movement", "analysis");
+        const DataMovementAnalyzer dm_analyzer(workload, spec);
+        result.dm = dm_analyzer.analyze(
+            tree,
+            [&](const Node* node) -> const DmNodePartial* {
+                Slot& slot = slotOf(node);
+                return slot.cached ? &slot.cached->dm : nullptr;
+            },
+            [&](const Node* node, const DmNodePartial& partial) {
+                Slot& slot = slotOf(node);
+                slot.fresh.dm = partial;
+                slot.freshDm = true;
+            });
+    }
+
+    {
+        const TraceSpan phase("evaluate.resource", "analysis");
+        const ResourceAnalyzer resource_analyzer(workload, spec);
+        result.resources = resource_analyzer.analyze(
+            tree, options.enforceMemory,
+            [&](const Node* node) -> const int64_t* {
+                Slot& slot = slotOf(node);
+                return slot.cached ? &slot.cached->footprintBytes
+                                   : nullptr;
+            },
+            [&](const Node* node, int64_t footprint) {
+                Slot& slot = slotOf(node);
+                slot.fresh.footprintBytes = footprint;
+                slot.freshFp = true;
+            });
+    }
+
+    if ((options.enforceMemory && !result.resources.fitsMemory) ||
+        (options.enforceCompute && !result.resources.fitsCompute)) {
+        result.problems = enforcementProblems(options, result.resources);
+        invalid.add();
+        flush();
+        return result;
+    }
+
+    {
+        const TraceSpan phase("evaluate.latency", "analysis");
+        const LatencyModel latency_model(workload, spec);
+        LatencyMemo memo;
+        memo.lookup = [&](const Node* node,
+                          bool with_memory) -> const double* {
+            Slot& slot = slotOf(node);
+            if (!slot.cached || !slot.cached->hasLatency)
+                return nullptr;
+            return with_memory ? &slot.cached->cycles
+                               : &slot.cached->computeCycles;
+        };
+        memo.record = [&](const Node* node, bool with_memory,
+                          double lat) {
+            Slot& slot = slotOf(node);
+            if (with_memory) {
+                slot.fresh.cycles = lat;
+                slot.freshLat = true;
+            } else {
+                slot.fresh.computeCycles = lat;
+                slot.freshPure = true;
+            }
+        };
+        result.latency = latency_model.analyze(tree, result.dm, &memo);
+        result.cycles = result.latency.cycles;
+        result.utilization = result.latency.utilization;
+    }
+
+    {
+        const TraceSpan phase("evaluate.energy", "analysis");
+        result.energy = computeEnergy(result.dm, spec);
+        result.energyPJ = result.energy.totalPJ();
+    }
+
+    result.valid = true;
+    flush();
+    return result;
+}
+
+} // namespace tileflow

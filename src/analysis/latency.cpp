@@ -16,6 +16,7 @@ struct LatencyContext
     const DataMovementResult* dm;
     LatencyResult* result;
     bool withMemory = true;
+    const LatencyMemo* memo = nullptr;
 };
 
 /** Cycles for one temporal step of a level-0 tile running `op`. */
@@ -99,11 +100,43 @@ childTotalOfScope(const LatencyContext& ctx, const Node* tile,
     return childTotal(ctx, tile, scope->scopeKind(), children);
 }
 
+/**
+ * Accounting-only traversal for a memory-pass memo hit: visit the
+ * Tile children (through nested Scopes, in child order — exactly the
+ * order childTotal recurses them) so their nodeCycles /
+ * levelAccessCycles contributions accumulate as in a full pass.
+ */
+void
+visitForAccounting(const LatencyContext& ctx,
+                   const std::vector<const Node*>& children)
+{
+    for (const Node* child : children) {
+        if (child->isScope()) {
+            std::vector<const Node*> inner;
+            for (const auto& c : child->children())
+                inner.push_back(c.get());
+            visitForAccounting(ctx, inner);
+        } else if (child->isTile()) {
+            latencyOf(ctx, child);
+        }
+        // Op leaves carry no accounting of their own.
+    }
+}
+
 double
 latencyOf(const LatencyContext& ctx, const Node* node)
 {
     if (!node->isTile())
         panic("latencyOf: expected a Tile node");
+
+    const double* cached =
+        ctx.memo && ctx.memo->lookup
+            ? ctx.memo->lookup(node, ctx.withMemory)
+            : nullptr;
+
+    // The pure pass does no accounting, so a hit skips the subtree.
+    if (cached != nullptr && !ctx.withMemory)
+        return *cached;
 
     ScopeKind binding = ScopeKind::Seq;
     std::vector<const Node*> children;
@@ -115,8 +148,6 @@ latencyOf(const LatencyContext& ctx, const Node* node)
         for (const auto& child : node->children())
             children.push_back(child.get());
     }
-
-    const double compute = childTotal(ctx, node, binding, children);
 
     double load_cycles = 0.0;
     double store_cycles = 0.0;
@@ -130,9 +161,22 @@ latencyOf(const LatencyContext& ctx, const Node* node)
         }
     }
 
-    // Loads, compute and stores overlap under double buffering, but
-    // loads and stores share the level's port/bus bandwidth.
-    const double lat = std::max(compute, load_cycles + store_cycles);
+    double lat = 0.0;
+    if (cached != nullptr) {
+        // Memory-pass hit: descendants still owe their accounting (in
+        // the same post-order a full pass uses), but this node's
+        // relevant-steps / leaf-throughput arithmetic is skipped.
+        visitForAccounting(ctx, children);
+        lat = *cached;
+    } else {
+        const double compute = childTotal(ctx, node, binding, children);
+        // Loads, compute and stores overlap under double buffering,
+        // but loads and stores share the level's port/bus bandwidth.
+        lat = std::max(compute, load_cycles + store_cycles);
+        if (ctx.memo && ctx.memo->record)
+            ctx.memo->record(node, ctx.withMemory, lat);
+    }
+
     if (ctx.withMemory) {
         ctx.result->nodeCycles[node] = lat;
         ctx.result->levelAccessCycles[size_t(node->memLevel())] +=
@@ -145,17 +189,18 @@ latencyOf(const LatencyContext& ctx, const Node* node)
 
 LatencyResult
 LatencyModel::analyze(const AnalysisTree& tree,
-                      const DataMovementResult& dm) const
+                      const DataMovementResult& dm,
+                      const LatencyMemo* memo) const
 {
     LatencyResult result;
     result.levelAccessCycles.assign(size_t(spec_->numLevels()), 0.0);
     if (!tree.hasRoot())
         return result;
 
-    LatencyContext ctx{workload_, spec_, &dm, &result, true};
+    LatencyContext ctx{workload_, spec_, &dm, &result, true, memo};
     result.cycles = latencyOf(ctx, tree.root());
 
-    LatencyContext pure{workload_, spec_, &dm, &result, false};
+    LatencyContext pure{workload_, spec_, &dm, &result, false, memo};
     result.computeCycles = latencyOf(pure, tree.root());
 
     // Utilization counts work against the array that executes it:

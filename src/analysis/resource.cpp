@@ -197,10 +197,39 @@ ResourceResult
 ResourceAnalyzer::analyze(const AnalysisTree& tree,
                           bool enforce_memory) const
 {
+    return analyze(tree, enforce_memory, FootprintLookup{},
+                   FootprintRecord{});
+}
+
+int64_t
+ResourceAnalyzer::tileStepFootprint(const Node* tile) const
+{
+    return stepFootprint(*workload_, tile);
+}
+
+ResourceResult
+ResourceAnalyzer::analyze(const AnalysisTree& tree, bool enforce_memory,
+                          const FootprintLookup& lookup,
+                          const FootprintRecord& record) const
+{
     ResourceResult result;
     result.footprintBytes.assign(size_t(spec_->numLevels()), 0);
     if (!tree.hasRoot())
         return result;
+
+    // Every violation lands in `violations` (detection order) AND in
+    // its class-specific list, so the evaluator can report only the
+    // constraint class that actually gated the result.
+    auto computeViolation = [&result](std::string msg) {
+        result.fitsCompute = false;
+        result.computeViolations.push_back(msg);
+        result.violations.push_back(std::move(msg));
+    };
+    auto memoryViolation = [&result](std::string msg) {
+        result.fitsMemory = false;
+        result.memoryViolations.push_back(msg);
+        result.violations.push_back(std::move(msg));
+    };
 
     const Usage usage = usageOf(*workload_, tree.root());
     result.matrixPEs = usage.matrixPEs;
@@ -208,20 +237,17 @@ ResourceAnalyzer::analyze(const AnalysisTree& tree,
     result.subCoresUsed = usage.subCores;
 
     if (result.matrixPEs > spec_->pesPerSubCore()) {
-        result.fitsCompute = false;
-        result.violations.push_back(concat(
+        computeViolation(concat(
             "matrix PE demand ", result.matrixPEs, " exceeds array size ",
             spec_->pesPerSubCore()));
     }
     if (result.vectorLanes > spec_->vectorLanes()) {
-        result.fitsCompute = false;
-        result.violations.push_back(concat(
+        computeViolation(concat(
             "vector lane demand ", result.vectorLanes,
             " exceeds lane count ", spec_->vectorLanes()));
     }
     if (result.subCoresUsed > spec_->totalSubCores()) {
-        result.fitsCompute = false;
-        result.violations.push_back(concat(
+        computeViolation(concat(
             "sub-core demand ", result.subCoresUsed, " exceeds ",
             spec_->totalSubCores()));
     }
@@ -247,15 +273,22 @@ ResourceAnalyzer::analyze(const AnalysisTree& tree,
         }
         child_level = std::max(child_level, 0);
 
-        const int64_t fp = stepFootprint(*workload_, node);
+        const int64_t* cached = lookup ? lookup(node) : nullptr;
+        int64_t fp = 0;
+        if (cached == nullptr) {
+            fp = stepFootprint(*workload_, node);
+            if (record)
+                record(node, fp);
+        } else {
+            fp = *cached;
+        }
         auto& peak = result.footprintBytes[size_t(child_level)];
         peak = std::max(peak, fp);
 
         const MemLevel& mem = spec_->level(child_level);
         if (enforce_memory && mem.capacityBytes > 0 &&
             fp > mem.capacityBytes) {
-            result.fitsMemory = false;
-            result.violations.push_back(concat(
+            memoryViolation(concat(
                 "step footprint ", humanCount(double(fp)), "B at L",
                 child_level, " exceeds capacity ",
                 humanCount(double(mem.capacityBytes)), "B"));
@@ -265,8 +298,7 @@ ResourceAnalyzer::analyze(const AnalysisTree& tree,
             const int64_t spatial = node->spatialExtent();
             const int64_t fanout = spec_->level(level).fanout;
             if (spatial > fanout) {
-                result.fitsCompute = false;
-                result.violations.push_back(concat(
+                computeViolation(concat(
                     "spatial extent ", spatial, " at L", level,
                     " exceeds fanout ", fanout));
             }

@@ -16,6 +16,8 @@
 #ifndef TILEFLOW_ANALYSIS_RESOURCE_HPP
 #define TILEFLOW_ANALYSIS_RESOURCE_HPP
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,7 +43,19 @@ struct ResourceResult
 
     bool fitsMemory = true;
     bool fitsCompute = true;
+
+    /** Every violation, in detection order (usage checks first, then
+     *  the tree walk's footprint / fanout checks). */
     std::vector<std::string> violations;
+
+    /** The subset of `violations` that set fitsMemory = false
+     *  (capacity overflows). The evaluator's enforcement paths report
+     *  only the class that actually gated the result. */
+    std::vector<std::string> memoryViolations;
+
+    /** The subset of `violations` that set fitsCompute = false
+     *  (PE / lane / sub-core / fanout overruns). */
+    std::vector<std::string> computeViolations;
 
     bool ok() const { return fitsMemory && fitsCompute; }
 };
@@ -61,6 +75,26 @@ class ResourceAnalyzer
      */
     ResourceResult analyze(const AnalysisTree& tree,
                            bool enforce_memory = true) const;
+
+    /** Cached step footprint of a Tile node, or nullptr to compute. */
+    using FootprintLookup = std::function<const int64_t*(const Node*)>;
+
+    /** Invoked with every freshly computed step footprint. */
+    using FootprintRecord = std::function<void(const Node*, int64_t)>;
+
+    /**
+     * Like analyze(tree, enforce_memory), but per-Tile-node step
+     * footprints — the expensive part (slice-union geometry) — can be
+     * served from / recorded into a cache. Footprints are exact
+     * int64s and violation strings are regenerated deterministically
+     * from them, so the result is identical to a fresh analysis.
+     */
+    ResourceResult analyze(const AnalysisTree& tree, bool enforce_memory,
+                           const FootprintLookup& lookup,
+                           const FootprintRecord& record) const;
+
+    /** Step footprint of one Tile node (see Sec. 5.2). */
+    int64_t tileStepFootprint(const Node* tile) const;
 
   private:
     const Workload* workload_;

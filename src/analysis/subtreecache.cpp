@@ -1,0 +1,87 @@
+#include "analysis/subtreecache.hpp"
+
+namespace tileflow {
+
+SubtreeCache::SubtreeCache(size_t shards, size_t maxEntriesPerShard)
+    : shards_(shards == 0 ? 1 : shards),
+      maxEntriesPerShard_(maxEntriesPerShard)
+{
+}
+
+std::optional<SubtreePartial>
+SubtreeCache::lookup(const SubtreeKey& key)
+{
+    metricLookups_.add();
+    Shard& shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            metricHits_.add();
+            return it->second;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metricMisses_.add();
+    return std::nullopt;
+}
+
+void
+SubtreeCache::insert(const SubtreeKey& key, const SubtreePartial& value)
+{
+    uint64_t evicted = 0;
+    Shard& shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto [it, fresh] = shard.map.insert_or_assign(key, value);
+        (void)it;
+        if (fresh) {
+            shard.order.push_back(key);
+            while (maxEntriesPerShard_ > 0 &&
+                   shard.map.size() > maxEntriesPerShard_ &&
+                   !shard.order.empty()) {
+                // FIFO: evictions change only hit rates, never values
+                // (an evicted subtree is simply recomputed), so a
+                // simple age-out is safe and O(1).
+                shard.map.erase(shard.order.front());
+                shard.order.pop_front();
+                ++evicted;
+            }
+        }
+    }
+    metricInserts_.add();
+    if (evicted > 0) {
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        metricEvictions_.add(evicted);
+    }
+}
+
+size_t
+SubtreeCache::size() const
+{
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+void
+SubtreeCache::clear()
+{
+    uint64_t evicted = 0;
+    for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        evicted += shard.map.size();
+        shard.map.clear();
+        shard.order.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    metricEvictions_.add(evicted);
+}
+
+} // namespace tileflow

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Sharded per-subtree analysis cache for incremental evaluation.
+ *
+ * The mapper's mutate / expand moves change one knob of a mapping at a
+ * time, leaving most of the tree structurally identical to its parent.
+ * This cache memoizes the expensive per-Tile-node analysis partials —
+ * data-movement simulation, step-footprint geometry, and per-execution
+ * latency — keyed on (subtreeHash, contextSignature), so re-evaluating
+ * a mutated tree recomputes only the changed node's ancestor spine
+ * while untouched sibling subtrees are served from cache.
+ *
+ * Key contract (see core/tree.hpp): two Tile nodes with equal
+ * subtreeHash and equal contextSignature produce bit-identical
+ * partials, because every analyzer quantity of a node depends only on
+ * the node's subtree plus its ancestors' Tile loops. The cached values
+ * are the exact doubles/int64s a fresh analysis would compute, and the
+ * accumulation into whole-tree results runs through the same code
+ * either way, so incremental evaluation is bit-identical to full
+ * evaluation (the tier-1 property test asserts this per fuzz family).
+ *
+ * Counters (MetricsRegistry): analysis.subtree_lookups / _hits /
+ * _misses / _inserts / _evictions. Each evaluated Tile node performs
+ * exactly one lookup, so hits + misses == lookups always holds.
+ */
+
+#ifndef TILEFLOW_ANALYSIS_SUBTREECACHE_HPP
+#define TILEFLOW_ANALYSIS_SUBTREECACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/datamovement.hpp"
+#include "common/telemetry.hpp"
+#include "core/tree.hpp"
+
+namespace tileflow {
+
+/** Cache key: structural identity + ancestor-loop context. */
+struct SubtreeKey
+{
+    uint64_t hash = 0;    ///< subtreeHash(node)
+    uint64_t context = 0; ///< contextSignature(node)
+
+    bool operator==(const SubtreeKey& other) const
+    {
+        return hash == other.hash && context == other.context;
+    }
+};
+
+/**
+ * Memoized analysis partials of one Tile node.
+ *
+ * Latency fields may be absent (`hasLatency == false`) when the
+ * recording evaluation bailed out before the latency phase (resource
+ * enforcement failure), or when only one of the two latency passes was
+ * freshly computed — a later evaluation that does reach the phase
+ * upgrades the entry in place (last writer wins).
+ */
+struct SubtreePartial
+{
+    /** Data-movement totals + per-child fills/drains (exact). */
+    DmNodePartial dm;
+
+    /** Step footprint in bytes (exact). */
+    int64_t footprintBytes = 0;
+
+    /** Latency fields below are valid. */
+    bool hasLatency = false;
+
+    /** Per-execution cycles, memory pass. */
+    double cycles = 0.0;
+
+    /** Per-execution cycles, pure-compute pass. */
+    double computeCycles = 0.0;
+};
+
+class SubtreeCache
+{
+  public:
+    /**
+     * @param shards              independently-locked map shards
+     * @param maxEntriesPerShard  FIFO-evict beyond this many entries
+     *                            per shard; 0 = unbounded
+     */
+    explicit SubtreeCache(size_t shards = 16,
+                          size_t maxEntriesPerShard = 4096);
+
+    SubtreeCache(const SubtreeCache&) = delete;
+    SubtreeCache& operator=(const SubtreeCache&) = delete;
+
+    /** Find a memoized partial; counts a lookup and a hit or miss. */
+    std::optional<SubtreePartial> lookup(const SubtreeKey& key);
+
+    /** Memoize a partial (last writer wins; may FIFO-evict). */
+    void insert(const SubtreeKey& key, const SubtreePartial& value);
+
+    /** Number of distinct subtrees memoized. */
+    size_t size() const;
+
+    /** Drop every entry (counted as evictions). */
+    void clear();
+
+    /** Instance counters since construction or the last clear(). */
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    uint64_t evictions() const { return evictions_.load(); }
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const SubtreeKey& key) const
+        {
+            // hash already mixes the whole subtree; fold in context.
+            return size_t(key.hash ^ (key.context * 0x9e3779b97f4a7c15ULL));
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<SubtreeKey, SubtreePartial, KeyHash> map;
+        std::deque<SubtreeKey> order; ///< insertion order (FIFO cap)
+    };
+
+    Shard& shardFor(const SubtreeKey& key)
+    {
+        return shards_[KeyHash{}(key) % shards_.size()];
+    }
+
+    std::vector<Shard> shards_;
+    size_t maxEntriesPerShard_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+
+    Counter& metricLookups_ =
+        MetricsRegistry::global().counter("analysis.subtree_lookups");
+    Counter& metricHits_ =
+        MetricsRegistry::global().counter("analysis.subtree_hits");
+    Counter& metricMisses_ =
+        MetricsRegistry::global().counter("analysis.subtree_misses");
+    Counter& metricInserts_ =
+        MetricsRegistry::global().counter("analysis.subtree_inserts");
+    Counter& metricEvictions_ =
+        MetricsRegistry::global().counter("analysis.subtree_evictions");
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_ANALYSIS_SUBTREECACHE_HPP

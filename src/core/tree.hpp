@@ -8,6 +8,7 @@
 #ifndef TILEFLOW_CORE_TREE_HPP
 #define TILEFLOW_CORE_TREE_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,6 +85,30 @@ bool isAncestorOf(const Node* ancestor, const Node* node);
  */
 bool equalTrees(const Node* a, const Node* b);
 bool equalTrees(const AnalysisTree& a, const AnalysisTree& b);
+
+/**
+ * 64-bit FNV-1a structural hash over exactly the attributes
+ * equalTrees compares: node type, memory level, loop list (dim, kind,
+ * extent, order), scope kind, op id and child shapes. Therefore
+ * equalTrees(a, b) implies subtreeHash(a) == subtreeHash(b). The
+ * incremental evaluator (analysis/incremental.hpp) keys its per-node
+ * partial cache on this hash.
+ */
+uint64_t subtreeHash(const Node* node);
+
+/**
+ * Hash of the *enclosing context* of `node`: the root-to-parent chain,
+ * contributing each ancestor's type, and for ancestor Tiles the memory
+ * level and full loop list. Ancestor Scope kinds are deliberately
+ * excluded: a node's analysis partials (data-movement traffic, step
+ * footprint, latency) depend on its ancestors only through their Tile
+ * loops — executionCount and the data-movement analyzer's
+ * relevantExecutions both skip non-Tile ancestors — so a binding
+ * (Scope-kind) mutation above a subtree keeps its cached partials
+ * valid. Two nodes with equal subtreeHash AND equal contextSignature
+ * produce bit-identical per-node analysis partials.
+ */
+uint64_t contextSignature(const Node* node);
 
 } // namespace tileflow
 

@@ -2,7 +2,11 @@
 
 namespace tileflow {
 
-EvalCache::EvalCache(size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+EvalCache::EvalCache(size_t shards, size_t maxEntriesPerShard)
+    : shards_(shards == 0 ? 1 : shards),
+      maxEntriesPerShard_(maxEntriesPerShard)
+{
+}
 
 uint64_t
 EvalCache::hashChoices(const std::vector<int64_t>& choices)
@@ -41,12 +45,31 @@ EvalCache::lookup(const std::vector<int64_t>& choices)
 void
 EvalCache::insert(const std::vector<int64_t>& choices, CachedEval value)
 {
+    uint64_t evicted = 0;
     Shard& shard = shardFor(hashChoices(choices));
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.map[choices] = value;
+        auto [it, fresh] = shard.map.insert_or_assign(choices, value);
+        (void)it;
+        if (fresh) {
+            shard.order.push_back(choices);
+            while (maxEntriesPerShard_ > 0 &&
+                   shard.map.size() > maxEntriesPerShard_ &&
+                   !shard.order.empty()) {
+                // FIFO age-out: an evicted mapping is re-evaluated on
+                // its next lookup, so eviction affects hit rates only
+                // — checkpoint/resume stays bit-identical.
+                shard.map.erase(shard.order.front());
+                shard.order.pop_front();
+                ++evicted;
+            }
+        }
     }
     metricInserts_.add();
+    if (evicted > 0) {
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        metricEvictions_.add(evicted);
+    }
     if (tracingEnabled()) {
         // Chrome counter tracks: hit/miss totals over the run's
         // timeline, sampled at each insert (one per real evaluation).
@@ -85,6 +108,7 @@ EvalCache::clear()
         std::lock_guard<std::mutex> lock(shard.mutex);
         evicted += shard.map.size();
         shard.map.clear();
+        shard.order.clear();
     }
     // Counters reset with the entries: a hit rate computed after a
     // clear must count only post-clear lookups, not stale totals
@@ -92,6 +116,7 @@ EvalCache::clear()
     // denominators across tuner restarts).
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
     metricEvictions_.add(evicted);
 }
 

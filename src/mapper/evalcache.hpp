@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -57,7 +58,17 @@ struct CachedEval
 class EvalCache
 {
   public:
-    explicit EvalCache(size_t shards = 16);
+    /**
+     * @param shards              independently-locked map shards
+     * @param maxEntriesPerShard  FIFO-evict beyond this many entries
+     *        per shard; 0 (the default) keeps the cache unbounded.
+     *        Eviction changes hit rates only, never values — an
+     *        evicted mapping is simply re-evaluated on its next
+     *        lookup — so checkpoint/resume runs stay bit-identical
+     *        under any cap.
+     */
+    explicit EvalCache(size_t shards = 16,
+                       size_t maxEntriesPerShard = 0);
 
     EvalCache(const EvalCache&) = delete;
     EvalCache& operator=(const EvalCache&) = delete;
@@ -81,6 +92,10 @@ class EvalCache
      */
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
+
+    /** Entries FIFO-evicted by the per-shard cap (clear() resets it
+     *  along with hits/misses; the registry counter does not reset). */
+    uint64_t evictions() const { return evictions_.load(); }
 
     /** Number of distinct mappings memoized. */
     size_t size() const;
@@ -117,13 +132,16 @@ class EvalCache
         mutable std::mutex mutex;
         std::unordered_map<std::vector<int64_t>, CachedEval, ChoiceHash>
             map;
+        std::deque<std::vector<int64_t>> order; ///< FIFO for the cap
     };
 
     Shard& shardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
 
     std::vector<Shard> shards_;
+    size_t maxEntriesPerShard_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
 
     // Process-cumulative mirrors (survive clear(); see DESIGN.md §10).
     Counter& metricHits_ =

@@ -154,6 +154,7 @@ GeneticMapper::run()
         Rng ind_rng(mixSeed(config_.seed, uint64_t(gen),
                             uint64_t(index)));
         MctsTuner tuner(*evaluator_, *space_, ind_rng);
+        tuner.setIncremental(incremental_);
         tuner.setCache(cache);
         tuner.setBatch(config_.mctsBatch);
         tuner.setStop(&stop, &global_evals);
@@ -247,6 +248,12 @@ GeneticMapper::run()
                     .add(uint64_t(result.evaluations));
                 metrics.counter("mapper.failed_evaluations")
                     .add(histogramTotal(result.failureHistogram));
+                // Keep the analysis/mapper counter reconciliation
+                // intact across kill/resume (see mcts.cpp).
+                metrics
+                    .counter(incremental_ ? "analysis.incremental_evals"
+                                          : "analysis.evaluations")
+                    .add(uint64_t(result.evaluations));
                 metrics.counter("evalcache.hits").add(restored_hits);
                 metrics.counter("evalcache.misses").add(restored_misses);
             } else {

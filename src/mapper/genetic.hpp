@@ -168,6 +168,19 @@ class GeneticMapper
     {
     }
 
+    /**
+     * Route candidate evaluations through the subtree-memoized path
+     * (nullptr: the plain evaluator), shared by every per-individual
+     * tuner. Crossover and mutation change a handful of structural
+     * genes, so offspring keep most of their parents' evaluated
+     * subtrees warm in the cache. Bit-identical to the plain path —
+     * the search trajectory and checkpoints do not depend on it.
+     */
+    void setIncremental(const IncrementalEvaluator* incremental)
+    {
+        incremental_ = incremental;
+    }
+
     GeneticResult run();
 
   private:
@@ -176,6 +189,7 @@ class GeneticMapper
     GeneticConfig config_;
     ThreadPool* pool_;
     EvalCache* cache_;
+    const IncrementalEvaluator* incremental_ = nullptr;
 };
 
 } // namespace tileflow

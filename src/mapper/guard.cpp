@@ -8,9 +8,12 @@
 
 namespace tileflow {
 
+namespace {
+
+template <typename EvaluatorT>
 CachedEval
-guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
-                const std::vector<int64_t>& choices)
+guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
+                    const std::vector<int64_t>& choices)
 {
     // The single chokepoint every real (non-memoized) search
     // evaluation passes through, in both the GA and MCTS paths — so
@@ -44,6 +47,23 @@ guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
     if (out.failed)
         failed.add();
     return out;
+}
+
+} // namespace
+
+CachedEval
+guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
+                const std::vector<int64_t>& choices)
+{
+    return guardedEvaluateImpl(evaluator, space, choices);
+}
+
+CachedEval
+guardedEvaluate(const IncrementalEvaluator& evaluator,
+                const MappingSpace& space,
+                const std::vector<int64_t>& choices)
+{
+    return guardedEvaluateImpl(evaluator, space, choices);
 }
 
 void

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/evaluator.hpp"
+#include "analysis/incremental.hpp"
 #include "mapper/encoding.hpp"
 #include "mapper/evalcache.hpp"
 
@@ -41,6 +42,13 @@ using FailureHistogram = std::map<std::string, uint64_t>;
  * Never throws (panic/abort excepted).
  */
 CachedEval guardedEvaluate(const Evaluator& evaluator,
+                           const MappingSpace& space,
+                           const std::vector<int64_t>& choices);
+
+/** Same guard around the subtree-memoized evaluation path. The two
+ *  paths are bit-identical, so which one a search uses never changes
+ *  its outcome — only its throughput. */
+CachedEval guardedEvaluate(const IncrementalEvaluator& evaluator,
                            const MappingSpace& space,
                            const std::vector<int64_t>& choices);
 

@@ -23,9 +23,13 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     ga.progressIntervalMs = config.progressIntervalMs;
 
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
-    EvalCache cache;
+    EvalCache cache(16, config.evalCacheCap);
+    SubtreeCache subtree_cache(16, config.subtreeCacheCap);
+    const IncrementalEvaluator incremental(evaluator, subtree_cache);
 
     GeneticMapper mapper(evaluator, space, ga, &pool, &cache);
+    if (config.incremental)
+        mapper.setIncremental(&incremental);
     const GeneticResult ga_result = mapper.run();
 
     MapperResult result(evaluator.workload());
@@ -55,12 +59,16 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
 {
     Rng rng(seed);
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
-    EvalCache cache;
+    EvalCache cache(16, config.evalCacheCap);
+    SubtreeCache subtree_cache(16, config.subtreeCacheCap);
+    const IncrementalEvaluator incremental(evaluator, subtree_cache);
 
     const StopControl stop(Deadline::afterMs(config.timeBudgetMs),
                            config.cancel, config.maxEvaluations);
 
     MctsTuner tuner(evaluator, space, rng);
+    if (config.incremental)
+        tuner.setIncremental(&incremental);
     tuner.setPool(&pool);
     tuner.setCache(&cache);
     tuner.setBatch(config.mctsBatch);

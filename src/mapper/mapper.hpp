@@ -84,6 +84,22 @@ struct MapperConfig
      *  milliseconds, polled at the StopControl polling points
      *  (generation / rollout-batch boundaries). <= 0 disables. */
     int64_t progressIntervalMs = 0;
+
+    /**
+     * Evaluate candidates through the subtree-memoized incremental
+     * path (analysis/incremental.hpp). Bit-identical to the plain
+     * evaluator — search results and checkpoints are unaffected, so
+     * this knob is deliberately NOT part of the checkpoint config
+     * hash; it only trades memory for candidate throughput.
+     */
+    bool incremental = true;
+
+    /** SubtreeCache per-shard entry cap (0 = unbounded); see
+     *  analysis/subtreecache.hpp. */
+    size_t subtreeCacheCap = 4096;
+
+    /** EvalCache per-shard entry cap (0 = unbounded). */
+    size_t evalCacheCap = 0;
 };
 
 /** Exploration outcome. */

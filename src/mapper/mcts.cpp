@@ -116,7 +116,9 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         if (cached) {
             eval = *cached;
         } else {
-            eval = guardedEvaluate(*evaluator_, *space_, base);
+            eval = incremental_
+                       ? guardedEvaluate(*incremental_, *space_, base)
+                       : guardedEvaluate(*evaluator_, *space_, base);
             result.evaluations += 1;
             if (globalEvals_)
                 globalEvals_->fetch_add(1, std::memory_order_relaxed);
@@ -210,6 +212,14 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                     .add(uint64_t(result.evaluations));
                 metrics.counter("mapper.failed_evaluations")
                     .add(histogramTotal(result.failureHistogram));
+                // Credit the evaluator-side counter the resumed
+                // portion would have bumped, so the analysis/mapper
+                // reconciliation telemetry_check enforces still holds
+                // after a kill/resume cycle.
+                metrics
+                    .counter(incremental_ ? "analysis.incremental_evals"
+                                          : "analysis.evaluations")
+                    .add(uint64_t(result.evaluations));
                 metrics.counter("evalcache.hits").add(restored_hits);
                 metrics.counter("evalcache.misses").add(restored_misses);
             } else {
@@ -380,7 +390,11 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
         auto evaluate_one = [&](size_t i) {
             PendingSample& sample = pending[to_evaluate[i]];
             sample.eval =
-                guardedEvaluate(*evaluator_, *space_, sample.choices);
+                incremental_
+                    ? guardedEvaluate(*incremental_, *space_,
+                                      sample.choices)
+                    : guardedEvaluate(*evaluator_, *space_,
+                                      sample.choices);
         };
         if (pool_ && to_evaluate.size() > 1) {
             pool_->parallelFor(to_evaluate.size(), evaluate_one);

@@ -114,6 +114,19 @@ class MctsTuner
     /** Memoize evaluations in `cache` (nullptr: no memoization). */
     void setCache(EvalCache* cache) { cache_ = cache; }
 
+    /**
+     * Route rollout evaluations through the subtree-memoized path
+     * (nullptr: the plain evaluator). Child expansion then reuses the
+     * parent prefix's evaluated subtrees: successive samples share
+     * everything but the newly decided factor's spine. Bit-identical
+     * to the plain path, so the search trajectory, checkpoints and
+     * results do not depend on this setting — only throughput does.
+     */
+    void setIncremental(const IncrementalEvaluator* incremental)
+    {
+        incremental_ = incremental;
+    }
+
     /** Leaves selected (under virtual loss) per evaluation batch. The
      *  batch size is part of the search trajectory: results depend on
      *  it, but for a fixed batch they do not depend on thread count. */
@@ -171,6 +184,7 @@ class MctsTuner
     double exploration_;
     ThreadPool* pool_ = nullptr;
     EvalCache* cache_ = nullptr;
+    const IncrementalEvaluator* incremental_ = nullptr;
     int batch_ = 1;
     const StopControl* stop_ = nullptr;
     std::atomic<int64_t>* globalEvals_ = nullptr;

@@ -520,6 +520,50 @@ checkMetrics(const JsonValue& root)
     check(numberOr(result->get("evaluations"), -1.0) >= 0.0,
           "evaluations must be >= 0");
 
+    // Incremental-evaluation counters (DESIGN.md §4.6). The subtree
+    // cache performs exactly one lookup per Tile node per incremental
+    // evaluation, so hits and misses must partition lookups exactly.
+    const double sub_lookups =
+        numberOr(counters->get("analysis.subtree_lookups"), 0.0);
+    const double sub_hits =
+        numberOr(counters->get("analysis.subtree_hits"), 0.0);
+    const double sub_misses =
+        numberOr(counters->get("analysis.subtree_misses"), 0.0);
+    {
+        std::ostringstream os;
+        os << "analysis.subtree_hits (" << sub_hits
+           << ") + analysis.subtree_misses (" << sub_misses
+           << ") != analysis.subtree_lookups (" << sub_lookups << ")";
+        check(sub_hits + sub_misses == sub_lookups, os.str());
+    }
+
+    // Every mapper evaluation entered exactly one of the two evaluator
+    // paths (plain or incremental) unless the tree build itself threw
+    // — and those throws are part of mapper.failed_evaluations. The
+    // evaluator-side counts therefore bracket mapper.evaluations.
+    // (Holds for mapper_search exports, which are written before the
+    // reference-dataflow evaluations run.)
+    const double full_evals =
+        numberOr(counters->get("analysis.evaluations"), 0.0);
+    const double inc_evals =
+        numberOr(counters->get("analysis.incremental_evals"), 0.0);
+    const double mapper_evals =
+        numberOr(counters->get("mapper.evaluations"), 0.0);
+    const double mapper_failed =
+        numberOr(counters->get("mapper.failed_evaluations"), 0.0);
+    {
+        std::ostringstream os;
+        os << "analysis.evaluations (" << full_evals
+           << ") + analysis.incremental_evals (" << inc_evals
+           << ") outside [mapper.evaluations - failed, "
+              "mapper.evaluations] = ["
+           << mapper_evals - mapper_failed << ", " << mapper_evals
+           << "]";
+        check(full_evals + inc_evals >= mapper_evals - mapper_failed &&
+                  full_evals + inc_evals <= mapper_evals,
+              os.str());
+    }
+
     std::printf("metrics OK: %zu counters, %zu gauges, %zu histograms; "
                 "registry totals match the search result\n",
                 counters->object.size(), gauges->object.size(),
