@@ -48,6 +48,7 @@
 
 #include "arch/presets.hpp"
 #include "common/logging.hpp"
+#include "common/signalutil.hpp"
 #include "common/telemetry.hpp"
 #include "core/notation.hpp"
 #include "dataflows/attention.hpp"
@@ -179,6 +180,14 @@ main(int argc, char** argv)
 
     if (!trace_path.empty())
         setTracingEnabled(true);
+
+    // First ^C / SIGTERM: cancel cooperatively — the engines write a
+    // final checkpoint at the next generation/batch boundary and the
+    // run falls through to telemetry export with best-so-far. A
+    // second signal kills the process immediately.
+    static CancellationToken cancel;
+    installStopSignalHandlers(&cancel, true);
+    cfg.cancel = &cancel;
 
     try {
         const Workload workload =

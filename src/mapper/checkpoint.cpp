@@ -6,6 +6,9 @@
 #include <cstring>
 #include <fstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "common/logging.hpp"
 
 namespace tileflow {
@@ -37,6 +40,40 @@ hex64(uint64_t v)
 }
 
 } // namespace
+
+uint64_t
+ckptHashBytes(const char* data, size_t n, uint64_t hash)
+{
+    return fnv1aBytes(data, n, hash);
+}
+
+std::string
+ckptHex64(uint64_t v)
+{
+    return hex64(v);
+}
+
+bool
+ckptFsyncFile(std::FILE* f)
+{
+    if (std::fflush(f) != 0)
+        return false;
+    return ::fsync(fileno(f)) == 0;
+}
+
+bool
+ckptFsyncParentDir(const std::string& path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
 
 uint64_t
 ckptHash(uint64_t hash, uint64_t word)
@@ -215,13 +252,21 @@ CkptWriter::writeTo(const std::string& path) const
     }
     const size_t to_write = crash ? payload.size() / 2 : payload.size();
     const size_t written = std::fwrite(payload.data(), 1, to_write, f);
+    // fsync BEFORE the rename: rename-without-fsync can publish the
+    // new name pointing at an empty/partial file after power loss,
+    // destroying the previous good checkpoint the atomic-replace
+    // discipline exists to protect.
+    const bool synced = !crash && ckptFsyncFile(f);
     std::fclose(f);
-    if (crash || written != payload.size())
+    if (crash || written != payload.size() || !synced)
         return false; // simulated or real crash: previous file intact
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("checkpoint: cannot rename '", tmp, "' to '", path, "'");
         return false;
     }
+    // ... and fsync the directory so the rename itself is durable.
+    if (!ckptFsyncParentDir(path))
+        warn("checkpoint: cannot fsync directory of '", path, "'");
     return true;
 }
 

@@ -322,6 +322,12 @@ GeneticMapper::run()
                 global_evals.load(std::memory_order_relaxed))) {
             result.timedOut = true;
             result.stopReason = why;
+            // The state at a generation boundary is complete (no
+            // degraded tuners), so persist it on the way out — with
+            // checkpointEveryGens > 1 a cancellation would otherwise
+            // discard up to N-1 finished generations.
+            if (gens_since_ckpt > 0)
+                save_checkpoint(gen);
             break;
         }
 

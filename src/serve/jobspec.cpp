@@ -1,0 +1,348 @@
+#include "serve/jobspec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace tileflow {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+    int line = 0;
+};
+
+/** Whitespace-separated tokens with '#' comments and line numbers. */
+std::vector<Token>
+tokenize(const std::string& text)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(uint8_t(c))) {
+            ++i;
+        } else if (c == '#') {
+            while (i < text.size() && text[i] != '\n')
+                ++i;
+        } else if (c == '{' || c == '}') {
+            tokens.push_back({std::string(1, c), line});
+            ++i;
+        } else {
+            const size_t start = i;
+            while (i < text.size() && !std::isspace(uint8_t(text[i])) &&
+                   text[i] != '{' && text[i] != '}' && text[i] != '#')
+                ++i;
+            tokens.push_back({text.substr(start, i - start), line});
+        }
+    }
+    return tokens;
+}
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, std::string* error)
+        : tokens_(std::move(tokens)), error_(error)
+    {
+    }
+
+    std::optional<JobFile>
+    parse()
+    {
+        JobFile file;
+        std::set<std::string> ids;
+        while (pos_ < tokens_.size()) {
+            const Token& head = tokens_[pos_];
+            if (head.text == "service") {
+                ++pos_;
+                if (!parseServiceBlock(file.service))
+                    return std::nullopt;
+            } else if (head.text == "job") {
+                ++pos_;
+                JobSpec job;
+                if (!parseJobBlock(job))
+                    return std::nullopt;
+                if (!ids.insert(job.id).second)
+                    return fail(head.line,
+                                "duplicate job id '" + job.id + "'");
+                file.jobs.push_back(std::move(job));
+            } else {
+                return fail(head.line, "expected 'service' or 'job', got '" +
+                                           head.text + "'");
+            }
+        }
+        if (file.jobs.empty())
+            return fail(1, "job file declares no jobs");
+        return file;
+    }
+
+  private:
+    std::optional<JobFile>
+    fail(int line, const std::string& what)
+    {
+        if (error_)
+            *error_ = concat("line ", line, ": ", what);
+        return std::nullopt;
+    }
+
+    bool
+    failb(int line, const std::string& what)
+    {
+        fail(line, what);
+        return false;
+    }
+
+    const Token*
+    next()
+    {
+        if (pos_ >= tokens_.size())
+            return nullptr;
+        return &tokens_[pos_++];
+    }
+
+    bool
+    expect(const char* what)
+    {
+        const Token* t = next();
+        if (!t || t->text != what)
+            return failb(t ? t->line : lastLine(),
+                         concat("expected '", what, "'",
+                                t ? " before '" + t->text + "'" : ""));
+        return true;
+    }
+
+    int
+    lastLine() const
+    {
+        return tokens_.empty() ? 1 : tokens_.back().line;
+    }
+
+    /** Value token for key `key`; nullptr (+error) at end of input. */
+    const Token*
+    value(const Token& key)
+    {
+        const Token* v = next();
+        if (!v || v->text == "{" || v->text == "}") {
+            failb(key.line, "missing value for '" + key.text + "'");
+            return nullptr;
+        }
+        return v;
+    }
+
+    bool
+    parseI64(const Token& key, const Token& v, int64_t* out)
+    {
+        char* end = nullptr;
+        const long long parsed = std::strtoll(v.text.c_str(), &end, 10);
+        if (end == v.text.c_str() || *end != '\0')
+            return failb(v.line, "'" + key.text +
+                                     "' wants an integer, got '" +
+                                     v.text + "'");
+        *out = parsed;
+        return true;
+    }
+
+    bool
+    parseU64(const Token& key, const Token& v, uint64_t* out)
+    {
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(v.text.c_str(), &end, 10);
+        if (end == v.text.c_str() || *end != '\0')
+            return failb(v.line, "'" + key.text +
+                                     "' wants an integer, got '" +
+                                     v.text + "'");
+        *out = parsed;
+        return true;
+    }
+
+    bool
+    parseInt(const Token& key, const Token& v, int* out)
+    {
+        int64_t wide = 0;
+        if (!parseI64(key, v, &wide))
+            return false;
+        *out = int(wide);
+        return true;
+    }
+
+    bool
+    parseDouble(const Token& key, const Token& v, double* out)
+    {
+        char* end = nullptr;
+        const double parsed = std::strtod(v.text.c_str(), &end);
+        if (end == v.text.c_str() || *end != '\0')
+            return failb(v.line, "'" + key.text +
+                                     "' wants a number, got '" +
+                                     v.text + "'");
+        *out = parsed;
+        return true;
+    }
+
+    bool
+    parseServiceBlock(ServicePolicy& svc)
+    {
+        if (!expect("{"))
+            return false;
+        while (true) {
+            const Token* key = next();
+            if (!key)
+                return failb(lastLine(), "unterminated service block");
+            if (key->text == "}")
+                return true;
+            const Token* v = value(*key);
+            if (!v)
+                return false;
+            bool ok = true;
+            if (key->text == "concurrency")
+                ok = parseInt(*key, *v, &svc.concurrency);
+            else if (key->text == "queue_cap")
+                ok = parseInt(*key, *v, &svc.queueCap);
+            else if (key->text == "max_attempts")
+                ok = parseInt(*key, *v, &svc.retry.maxAttempts);
+            else if (key->text == "backoff_base_ms")
+                ok = parseI64(*key, *v, &svc.retry.baseDelayMs);
+            else if (key->text == "backoff_max_ms")
+                ok = parseI64(*key, *v, &svc.retry.maxDelayMs);
+            else if (key->text == "backoff_multiplier")
+                ok = parseDouble(*key, *v, &svc.retry.multiplier);
+            else if (key->text == "jitter_fraction")
+                ok = parseDouble(*key, *v, &svc.retry.jitterFraction);
+            else if (key->text == "retry_seed")
+                ok = parseU64(*key, *v, &svc.retry.seed);
+            else if (key->text == "grace_ms")
+                ok = parseI64(*key, *v, &svc.graceMs);
+            else if (key->text == "poll_ms")
+                ok = parseI64(*key, *v, &svc.pollMs);
+            else
+                return failb(key->line, "unknown service key '" +
+                                            key->text + "'");
+            if (!ok)
+                return false;
+        }
+    }
+
+    static bool
+    validJobId(const std::string& id)
+    {
+        if (id.empty())
+            return false;
+        for (char c : id)
+            if (!std::isalnum(uint8_t(c)) && c != '_' && c != '.' &&
+                c != '-')
+                return false;
+        return true;
+    }
+
+    bool
+    parseJobBlock(JobSpec& job)
+    {
+        const Token* id = next();
+        if (!id || id->text == "{")
+            return failb(id ? id->line : lastLine(),
+                         "job needs an id before '{'");
+        if (!validJobId(id->text))
+            return failb(id->line,
+                         "job id '" + id->text +
+                             "' (want [A-Za-z0-9_.-]+ — it names "
+                             "journal records and checkpoint files)");
+        job.id = id->text;
+        if (!expect("{"))
+            return false;
+        while (true) {
+            const Token* key = next();
+            if (!key)
+                return failb(lastLine(), "unterminated job block");
+            if (key->text == "}")
+                return true;
+            const Token* v = value(*key);
+            if (!v)
+                return false;
+            bool ok = true;
+            if (key->text == "workload")
+                job.workload = v->text;
+            else if (key->text == "workload_spec")
+                job.workloadSpecPath = v->text;
+            else if (key->text == "arch")
+                job.arch = v->text;
+            else if (key->text == "arch_spec")
+                job.archSpecPath = v->text;
+            else if (key->text == "rounds")
+                ok = parseInt(*key, *v, &job.rounds);
+            else if (key->text == "population")
+                ok = parseInt(*key, *v, &job.population);
+            else if (key->text == "tiling_samples")
+                ok = parseInt(*key, *v, &job.tilingSamples);
+            else if (key->text == "max_evals")
+                ok = parseI64(*key, *v, &job.maxEvals);
+            else if (key->text == "time_budget_ms")
+                ok = parseI64(*key, *v, &job.timeBudgetMs);
+            else if (key->text == "deadline_ms")
+                ok = parseI64(*key, *v, &job.deadlineMs);
+            else if (key->text == "seed")
+                ok = parseU64(*key, *v, &job.seed);
+            else if (key->text == "max_attempts")
+                ok = parseInt(*key, *v, &job.maxAttempts);
+            else if (key->text == "inject") {
+                if (v->text == "none")
+                    job.inject = JobInject::None;
+                else if (v->text == "hang")
+                    job.inject = JobInject::Hang;
+                else if (v->text == "crash_seeded")
+                    job.inject = JobInject::CrashSeeded;
+                else
+                    return failb(v->line,
+                                 "inject wants none|hang|crash_seeded, "
+                                 "got '" + v->text + "'");
+            } else
+                return failb(key->line,
+                             "unknown job key '" + key->text + "'");
+            if (!ok)
+                return false;
+        }
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    std::string* error_;
+};
+
+} // namespace
+
+std::optional<JobFile>
+parseJobFile(const std::string& text, std::string* error)
+{
+    return Parser(tokenize(text), error).parse();
+}
+
+std::optional<JobFile>
+loadJobFile(const std::string& path, std::string* error)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (error)
+            *error = concat("cannot open job file '", path, "'");
+        return std::nullopt;
+    }
+    std::string text;
+    char buf[1 << 14];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    auto parsed = parseJobFile(text, error);
+    if (!parsed && error)
+        *error = concat(path, ": ", *error);
+    return parsed;
+}
+
+} // namespace tileflow

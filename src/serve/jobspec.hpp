@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Job-file front end for `tileflow_jobd`: a batch of mapper-search
+ * requests plus service-level policy, in a small brace-block text
+ * format (README "Batch job files"):
+ *
+ *     # comments run to end of line
+ *     service {
+ *       concurrency 4          # in-flight worker cap
+ *       queue_cap 0            # pending-job bound; 0 = unbounded
+ *       max_attempts 3         # per-job attempt cap (retry policy)
+ *       backoff_base_ms 200    # first-retry delay
+ *       backoff_max_ms 10000   # delay ceiling
+ *       grace_ms 2000          # SIGTERM -> SIGKILL escalation window
+ *       retry_seed 7           # deterministic backoff jitter
+ *     }
+ *     job <id> {
+ *       workload Bert-S        # named attention shape...
+ *       workload_spec f.wl     # ...or a workload spec file
+ *       arch edge              # preset: edge | cloud...
+ *       arch_spec f.arch       # ...or an arch spec file
+ *       rounds 3
+ *       population 8
+ *       tiling_samples 30
+ *       max_evals 500
+ *       time_budget_ms 0       # cooperative budget inside the worker
+ *       deadline_ms 0          # wall deadline the watchdog enforces
+ *       seed 7
+ *       max_attempts 5         # per-job override
+ *       inject none            # none | hang | crash_seeded (tests/CI)
+ *     }
+ *
+ * Job ids are [A-Za-z0-9_.-]+ (they become journal keys and
+ * checkpoint file names). Parsing never throws: parseJobFile returns
+ * nullopt and a "line N: ..." message for the first problem.
+ */
+
+#ifndef TILEFLOW_SERVE_JOBSPEC_HPP
+#define TILEFLOW_SERVE_JOBSPEC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/retry.hpp"
+
+namespace tileflow {
+
+/** Worker-side fault injection selected per job (tests/CI only). */
+enum class JobInject
+{
+    None,        ///< run normally
+    Hang,        ///< wedge: block SIGTERM and sleep past any deadline
+    CrashSeeded, ///< abort iff hash(id, attempt, seed) < crash fraction
+};
+
+/** One search request. */
+struct JobSpec
+{
+    std::string id;
+
+    /** Named attention shape (workloadSpecPath empty) or spec file. */
+    std::string workload = "Bert-S";
+    std::string workloadSpecPath;
+
+    /** Arch preset name ("edge" / "cloud") or spec file. */
+    std::string arch = "edge";
+    std::string archSpecPath;
+
+    int rounds = 3;
+    int population = 8;
+    int tilingSamples = 30;
+    int64_t maxEvals = 0;
+    int64_t timeBudgetMs = 0;
+    uint64_t seed = 0x7ea51eafULL;
+
+    /** Wall deadline per attempt, enforced by the supervisor's
+     *  watchdog (0 = none). */
+    int64_t deadlineMs = 0;
+
+    /** Per-job attempt-cap override (0 = service default). */
+    int maxAttempts = 0;
+
+    JobInject inject = JobInject::None;
+};
+
+/** Service-level policy from the `service { }` block. */
+struct ServicePolicy
+{
+    int concurrency = 2;
+
+    /** Bound on jobs admitted into the pending queue; submissions
+     *  beyond it are shed (journaled failed, reason "shed").
+     *  0 = unbounded. */
+    int queueCap = 0;
+
+    RetryPolicy retry;
+
+    /** SIGTERM -> SIGKILL escalation window for wedged workers. */
+    int64_t graceMs = 2000;
+
+    /** Supervisor poll tick. */
+    int64_t pollMs = 25;
+};
+
+struct JobFile
+{
+    ServicePolicy service;
+    std::vector<JobSpec> jobs;
+};
+
+/** Parse job-file text; nullopt + `error` ("line N: what") on the
+ *  first problem (unknown key, bad value, duplicate id...). */
+std::optional<JobFile> parseJobFile(const std::string& text,
+                                    std::string* error);
+
+/** Read + parse `path`; nullopt + `error` on IO or parse failure. */
+std::optional<JobFile> loadJobFile(const std::string& path,
+                                   std::string* error);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_SERVE_JOBSPEC_HPP

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Durable append-only job journal for the batch evaluation service.
+ *
+ * The journal is the service's source of truth: every job-state
+ * transition (submitted / started / attempt_failed / interrupted /
+ * succeeded / failed) is appended and fsync'd *before* the supervisor
+ * acts on it, so `kill -9` of the supervisor at any instant loses no
+ * terminal state — a restarted supervisor replays the journal and
+ * resumes exactly the jobs that had not finished, never re-running a
+ * completed one.
+ *
+ * On-disk format (one record per line, after a header line):
+ *
+ *     tileflow-journal 1
+ *     <jobid> <event> <attempt> <len> <payload bytes> <checksum>
+ *
+ * `len` is the hex byte length of the payload (which may contain
+ * spaces; newlines are sanitized to spaces on append) and `checksum`
+ * is the FNV-1a of everything on the line before it — the same
+ * checksummed-record discipline the mapper checkpoints use (they
+ * share the hash/hex helpers in mapper/checkpoint.hpp).
+ *
+ * Recovery contract: replay stops at the first record that fails to
+ * parse or checksum. A truncated/corrupt tail — the normal residue of
+ * a crash mid-append — is *dropped, not fatal*: the file is truncated
+ * back to the end of the valid prefix so later appends produce a
+ * well-formed journal again. Replay is a pure fold over the record
+ * sequence (JobLedger::apply), so replaying a journal any number of
+ * times yields the same ledger.
+ */
+
+#ifndef TILEFLOW_SERVE_JOURNAL_HPP
+#define TILEFLOW_SERVE_JOURNAL_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tileflow {
+
+/** Job-state transitions the journal records. */
+enum class JobEvent
+{
+    Submitted,     ///< admitted into the batch
+    Started,       ///< a worker attempt forked (payload: worker info)
+    AttemptFailed, ///< attempt ended in a retryable failure (payload: reason)
+    Interrupted,   ///< attempt cancelled by shutdown; does NOT consume an attempt
+    Succeeded,     ///< terminal success (payload: result summary)
+    Failed,        ///< terminal failure (payload: reason)
+};
+
+const char* jobEventName(JobEvent e);
+
+/** Parse an event token; nullopt for unknown names. */
+std::optional<JobEvent> jobEventFromName(const std::string& name);
+
+struct JournalRecord
+{
+    std::string jobId;
+    JobEvent event = JobEvent::Submitted;
+    int attempt = 0;
+    std::string payload;
+};
+
+/**
+ * Append-side handle. open() replays the existing file (if any) into
+ * `replayed`, truncates a corrupt tail, and leaves the file positioned
+ * for appends. Every append is fsync'd before returning true.
+ */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+
+    Journal(Journal&& other) noexcept;
+    Journal& operator=(Journal&& other) noexcept;
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /**
+     * Open (creating if absent) the journal at `path`. Valid records
+     * already on disk are appended to `replayed` in order. Returns
+     * nullopt only for real IO errors (unwritable path); a corrupt
+     * tail is recovered from silently (with a warn()).
+     */
+    static std::optional<Journal>
+    open(const std::string& path, std::vector<JournalRecord>& replayed);
+
+    /** Serialize, append, fsync. False on IO failure. */
+    bool append(const JournalRecord& rec);
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    const std::string& path() const { return path_; }
+
+    void close();
+
+  private:
+    std::FILE* file_ = nullptr;
+    std::string path_;
+};
+
+/**
+ * Replay just the records of a journal file (read-only — used by
+ * `tileflow_jobd --replay` and tests). Returns false only when the
+ * file cannot be read at all.
+ */
+bool readJournal(const std::string& path,
+                 std::vector<JournalRecord>& records);
+
+/** Render one record as its on-disk line (without trailing newline). */
+std::string journalLine(const JournalRecord& rec);
+
+/** Parse one on-disk line; nullopt when malformed or checksum fails. */
+std::optional<JournalRecord> parseJournalLine(const std::string& line);
+
+/**
+ * The fold over a record sequence that defines each job's state.
+ * Deterministic and idempotent in the sense that a given record
+ * sequence always produces the same ledger.
+ */
+class JobLedger
+{
+  public:
+    enum class State
+    {
+        Pending,   ///< submitted (or failed an attempt), eligible to run
+        Running,   ///< an attempt started and has not reported back
+        Succeeded, ///< terminal
+        Failed,    ///< terminal
+    };
+
+    struct Entry
+    {
+        State state = State::Pending;
+        /** Attempts consumed (attempt_failed records). Interrupted
+         *  attempts deliberately do not count. */
+        int attemptsFailed = 0;
+        /** Highest attempt number seen in a started record. */
+        int attemptsStarted = 0;
+        /** Raw count of succeeded records — the exactly-once check. */
+        int succeededRecords = 0;
+        std::string lastReason;
+    };
+
+    void apply(const JournalRecord& rec);
+
+    void
+    applyAll(const std::vector<JournalRecord>& records)
+    {
+        for (const JournalRecord& rec : records)
+            apply(rec);
+    }
+
+    const Entry* find(const std::string& jobId) const;
+
+    const std::map<std::string, Entry>& jobs() const { return jobs_; }
+
+    /** True when every known job is terminal. */
+    bool allTerminal() const;
+
+    static const char* stateName(State s);
+
+  private:
+    std::map<std::string, Entry> jobs_;
+};
+
+} // namespace tileflow
+
+#endif // TILEFLOW_SERVE_JOURNAL_HPP

@@ -1,0 +1,579 @@
+#include "serve/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/telemetry.hpp"
+#include "serve/retry.hpp"
+#include "serve/worker.hpp"
+
+namespace tileflow {
+
+namespace {
+
+int64_t
+steadyMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One forked worker the supervisor (and watchdog) tracks. */
+struct RunningWorker
+{
+    pid_t pid = -1;
+    std::string jobId;
+    int attempt = 0;
+    int statusFd = -1;   ///< read end of the status pipe
+    int64_t startMs = 0;
+    int64_t deadlineAtMs = 0; ///< absolute; 0 = no wall deadline
+    int64_t termSentMs = 0;   ///< 0 until SIGTERM went out
+    bool deadlineKill = false;
+    bool shutdownTerm = false;
+};
+
+/** Supervisor-side view of one job's progress. */
+struct JobProgress
+{
+    const JobSpec* spec = nullptr;
+    int failedAttempts = 0;
+    bool terminal = false;
+};
+
+std::string
+signalName(int sig)
+{
+    const char* abbrev = sigabbrev_np(sig);
+    return abbrev ? concat("SIG", abbrev) : concat("signal ", sig);
+}
+
+class Supervisor
+{
+  public:
+    Supervisor(const JobFile& file, const SupervisorOptions& opts)
+        : file_(file),
+          opts_(opts),
+          retry_(file.service.retry, [] { return steadyMs(); }),
+          cSubmitted_(MetricsRegistry::global().counter(
+              "serve.jobs_submitted")),
+          cSucceeded_(MetricsRegistry::global().counter(
+              "serve.jobs_succeeded")),
+          cFailed_(MetricsRegistry::global().counter(
+              "serve.jobs_failed")),
+          cShed_(MetricsRegistry::global().counter("serve.jobs_shed")),
+          cRetries_(MetricsRegistry::global().counter("serve.retries")),
+          cCrashes_(MetricsRegistry::global().counter("serve.crashes")),
+          cDeadlineKills_(MetricsRegistry::global().counter(
+              "serve.deadline_kills")),
+          cInterrupted_(MetricsRegistry::global().counter(
+              "serve.interrupted")),
+          cAttempts_(MetricsRegistry::global().counter(
+              "serve.attempts_started")),
+          gInflight_(MetricsRegistry::global().gauge("serve.inflight")),
+          hAttemptNs_(MetricsRegistry::global().histogram(
+              "serve.attempt_ns"))
+    {
+    }
+
+    std::optional<BatchSummary>
+    run(std::string* error)
+    {
+        const TraceSpan span("serve.batch", "serve");
+        if (!openJournalAndReplay(error))
+            return std::nullopt;
+        admitJobs();
+
+        // The watchdog owns deadline enforcement so one wedged worker
+        // can never stall reaping/launching of the others.
+        std::thread watchdog([this] { watchdogLoop(); });
+
+        while (true) {
+            reapExited();
+            pollShutdown();
+            if (!shuttingDown_) {
+                for (const std::string& id : retry_.dueJobs())
+                    ready_.push_back(id);
+                launchReady();
+            }
+            const bool idle = [&] {
+                std::lock_guard<std::mutex> lock(mu_);
+                return running_.empty();
+            }();
+            if (idle && (shuttingDown_ ||
+                         (ready_.empty() && retry_.waiting() == 0)))
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::max<int64_t>(1, file_.service.pollMs)));
+        }
+
+        watchdogStop_.store(true, std::memory_order_relaxed);
+        watchdog.join();
+
+        summary_.shutdownRequested = shuttingDown_;
+        summary_.complete = batchTerminal();
+        journal_.close();
+        return summary_;
+    }
+
+  private:
+    // -- startup ---------------------------------------------------
+
+    bool
+    openJournalAndReplay(std::string* error)
+    {
+        std::string path = opts_.journalPath;
+        if (path.empty())
+            path = opts_.jobFilePath + ".journal";
+        std::vector<JournalRecord> replayed;
+        auto journal = Journal::open(path, replayed);
+        if (!journal) {
+            if (error)
+                *error = concat("cannot open journal '", path, "'");
+            return false;
+        }
+        journal_ = std::move(*journal);
+        ledger_.applyAll(replayed);
+        return true;
+    }
+
+    int
+    attemptCap(const JobSpec& job) const
+    {
+        return job.maxAttempts > 0 ? job.maxAttempts
+                                   : file_.service.retry.maxAttempts;
+    }
+
+    /** Journal + fold into the ledger as one step. An append failure
+     *  (disk full, journal torn away) is loud but not fatal: the
+     *  batch keeps running, resumability degrades. */
+    void
+    record(const JournalRecord& rec)
+    {
+        if (!journal_.append(rec))
+            warn("jobd: journal append failed (job ", rec.jobId, ", ",
+                 jobEventName(rec.event),
+                 ") — a restart may repeat this transition");
+        ledger_.apply(rec);
+    }
+
+    void
+    admitJobs()
+    {
+        summary_.jobs = file_.jobs.size();
+        uint64_t newly_admitted = 0;
+        for (const JobSpec& job : file_.jobs) {
+            JobProgress& progress = jobs_[job.id];
+            progress.spec = &job;
+            const JobLedger::Entry* entry = ledger_.find(job.id);
+            if (entry && (entry->state == JobLedger::State::Succeeded ||
+                          entry->state == JobLedger::State::Failed)) {
+                progress.terminal = true;
+                summary_.alreadyTerminal += 1;
+                continue;
+            }
+            if (!entry) {
+                // Admission control happens here, at submit: a bounded
+                // queue sheds explicitly rather than queueing without
+                // bound. (Jobs resumed from the journal were admitted
+                // by a previous run and bypass the cap.)
+                if (file_.service.queueCap > 0 &&
+                    newly_admitted >=
+                        uint64_t(file_.service.queueCap)) {
+                    record({job.id, JobEvent::Failed, 0, "shed"});
+                    progress.terminal = true;
+                    summary_.shed += 1;
+                    cShed_.add();
+                    continue;
+                }
+                record({job.id, JobEvent::Submitted, 0, ""});
+                newly_admitted += 1;
+                summary_.submitted += 1;
+                cSubmitted_.add();
+                ready_.push_back(job.id);
+                continue;
+            }
+            // Pending or interrupted mid-run by a dead supervisor:
+            // resume. A job whose journal already shows the attempt
+            // cap consumed goes terminal now (the previous supervisor
+            // died between journaling attempt_failed and failed).
+            progress.failedAttempts = entry->attemptsFailed;
+            if (progress.failedAttempts >= attemptCap(job)) {
+                finalizeFailed(job.id, entry->lastReason.empty()
+                                           ? "attempt cap exhausted"
+                                           : entry->lastReason);
+                continue;
+            }
+            ready_.push_back(job.id);
+        }
+    }
+
+    // -- launching -------------------------------------------------
+
+    void
+    launchReady()
+    {
+        while (!ready_.empty()) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (running_.size() >=
+                    size_t(std::max(1, file_.service.concurrency)))
+                    return;
+            }
+            const std::string jobId = ready_.front();
+            ready_.pop_front();
+            launch(jobId);
+        }
+    }
+
+    void
+    launch(const std::string& jobId)
+    {
+        JobProgress& progress = jobs_[jobId];
+        const int attempt = progress.failedAttempts + 1;
+
+        // Journal the intention durably BEFORE forking: a kill -9
+        // between fork and journal would otherwise lose the attempt.
+        record({jobId, JobEvent::Started, attempt, ""});
+
+        int fds[2];
+        if (::pipe2(fds, O_CLOEXEC) != 0) {
+            handleAttemptFailure(jobId, attempt, "pipe failure");
+            return;
+        }
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            handleAttemptFailure(jobId, attempt, "fork failure");
+            return;
+        }
+        if (pid == 0) {
+            // Child: surrender the read end, let the write end survive
+            // exec (other workers' fds stay CLOEXEC and vanish).
+            ::close(fds[0]);
+            ::fcntl(fds[1], F_SETFD, 0);
+            std::string exe = opts_.workerExe;
+            if (exe.empty())
+                exe = "/proc/self/exe";
+            const std::string attempt_s = std::to_string(attempt);
+            const std::string fd_s = std::to_string(fds[1]);
+            ::execl(exe.c_str(), exe.c_str(), "--worker", "--job-file",
+                    opts_.jobFilePath.c_str(), "--job-id",
+                    jobId.c_str(), "--attempt", attempt_s.c_str(),
+                    "--workdir", opts_.workdir.c_str(), "--status-fd",
+                    fd_s.c_str(), (char*)nullptr);
+            _exit(127); // exec failed
+        }
+
+        ::close(fds[1]);
+        RunningWorker worker;
+        worker.pid = pid;
+        worker.jobId = jobId;
+        worker.attempt = attempt;
+        worker.statusFd = fds[0];
+        worker.startMs = steadyMs();
+        if (progress.spec->deadlineMs > 0)
+            worker.deadlineAtMs =
+                worker.startMs + progress.spec->deadlineMs;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            running_[pid] = worker;
+            gInflight_.set(double(running_.size()));
+        }
+        summary_.attemptsStarted += 1;
+        cAttempts_.add();
+    }
+
+    // -- reaping ---------------------------------------------------
+
+    void
+    reapExited()
+    {
+        while (true) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                return;
+            RunningWorker worker;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                const auto it = running_.find(pid);
+                if (it == running_.end())
+                    continue; // not ours (cannot happen in practice)
+                worker = it->second;
+                running_.erase(it);
+                gInflight_.set(double(running_.size()));
+            }
+            hAttemptNs_.observe(
+                uint64_t(steadyMs() - worker.startMs) * 1000000ull);
+            const WorkerStatus report =
+                decodeWorkerStatus(drainPipe(worker.statusFd));
+            ::close(worker.statusFd);
+            classify(worker, status, report);
+        }
+    }
+
+    static std::string
+    drainPipe(int fd)
+    {
+        std::string out;
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+            out.append(buf, size_t(n));
+        return out;
+    }
+
+    void
+    classify(const RunningWorker& worker, int status,
+             const WorkerStatus& report)
+    {
+        const std::string& jobId = worker.jobId;
+        const bool clean_success = WIFEXITED(status) &&
+                                   WEXITSTATUS(status) ==
+                                       kWorkerExitSuccess &&
+                                   report.complete &&
+                                   report.outcome == "ok";
+        if (clean_success) {
+            // A result that raced the watchdog's TERM is still a
+            // result — success wins.
+            finalizeSucceeded(jobId, report);
+            return;
+        }
+        if (worker.deadlineKill) {
+            // Whether the worker honored the cooperative TERM (exit
+            // 12) or had to be SIGKILLed, the attempt blew its wall
+            // deadline: journaled as exactly "deadline".
+            summary_.deadlineKills += 1;
+            cDeadlineKills_.add();
+            handleAttemptFailure(jobId, worker.attempt, "deadline");
+            return;
+        }
+        if (WIFEXITED(status)) {
+            const int code = WEXITSTATUS(status);
+            if (code == kWorkerExitInterrupted || worker.shutdownTerm) {
+                markInterrupted(jobId, worker.attempt);
+                if (!shuttingDown_)
+                    ready_.push_back(jobId); // externally TERMed
+                return;
+            }
+            if (code == kWorkerExitPermanent) {
+                finalizeFailed(jobId,
+                               report.reason.empty() ? "permanent failure"
+                                                     : report.reason);
+                return;
+            }
+            std::string reason =
+                report.reason.empty()
+                    ? (code == 127 ? std::string("exec failure")
+                                   : concat("exit code ", code))
+                    : report.reason;
+            // A clean exit 0 without a complete "ok" status is a
+            // protocol breach — treat as a transient failure.
+            if (code == kWorkerExitSuccess)
+                reason = "incomplete worker status";
+            handleAttemptFailure(jobId, worker.attempt, reason);
+            return;
+        }
+        // Signal death: shutdown escalation or a genuine crash.
+        const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        if (worker.shutdownTerm) {
+            // We asked it to stop and it died to our TERM/KILL rather
+            // than exiting 12 — an interrupted attempt, not a crash.
+            markInterrupted(jobId, worker.attempt);
+            return;
+        }
+        summary_.crashes += 1;
+        cCrashes_.add();
+        handleAttemptFailure(jobId, worker.attempt,
+                             concat("crash:", signalName(sig)));
+    }
+
+    void
+    markInterrupted(const std::string& jobId, int attempt)
+    {
+        record({jobId, JobEvent::Interrupted, attempt,
+                "interrupted by shutdown"});
+        summary_.interrupted += 1;
+        cInterrupted_.add();
+    }
+
+    void
+    handleAttemptFailure(const std::string& jobId, int attempt,
+                         const std::string& reason)
+    {
+        record({jobId, JobEvent::AttemptFailed, attempt, reason});
+        JobProgress& progress = jobs_[jobId];
+        progress.failedAttempts = attempt;
+
+        const int cap = attemptCap(*progress.spec);
+        if (attempt >= cap) {
+            finalizeFailed(jobId, reason);
+            return;
+        }
+        if (shuttingDown_) {
+            // A retryable job simply stays pending in the journal;
+            // the next run retries it.
+            return;
+        }
+        // The per-job cap was consulted above; schedule directly so a
+        // per-job override larger than the service default still
+        // retries.
+        retry_.schedule(jobId, attempt);
+        summary_.retriesScheduled += 1;
+        cRetries_.add();
+        inform("jobd: job ", jobId, " attempt ", attempt, " failed (",
+               reason, "); retrying in ",
+               retry_.policy().delayMs(jobId, attempt), "ms");
+    }
+
+    void
+    finalizeSucceeded(const std::string& jobId,
+                      const WorkerStatus& report)
+    {
+        std::string payload = concat(
+            "found=", report.found ? 1 : 0, " cycles=",
+            report.bestCycles, " evaluations=", report.evaluations,
+            " elapsed_ms=", report.elapsedMs);
+        if (report.timedOut)
+            payload += concat(" stopped=", report.stopReason);
+        record({jobId, JobEvent::Succeeded,
+                jobs_[jobId].failedAttempts + 1, payload});
+        jobs_[jobId].terminal = true;
+        summary_.succeeded += 1;
+        cSucceeded_.add();
+    }
+
+    void
+    finalizeFailed(const std::string& jobId, const std::string& reason)
+    {
+        record({jobId, JobEvent::Failed, jobs_[jobId].failedAttempts,
+                reason});
+        jobs_[jobId].terminal = true;
+        summary_.failedPermanent += 1;
+        cFailed_.add();
+    }
+
+    bool
+    batchTerminal() const
+    {
+        for (const auto& [id, progress] : jobs_) {
+            (void)id;
+            if (!progress.terminal)
+                return false;
+        }
+        return true;
+    }
+
+    // -- shutdown --------------------------------------------------
+
+    void
+    pollShutdown()
+    {
+        if (shuttingDown_ || !opts_.shutdown ||
+            !opts_.shutdown->cancelled())
+            return;
+        shuttingDown_ = true;
+        inform("jobd: shutdown requested; cancelling in-flight jobs");
+        const int64_t now = steadyMs();
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [pid, worker] : running_) {
+            worker.shutdownTerm = true;
+            if (worker.termSentMs == 0) {
+                worker.termSentMs = now;
+                ::kill(pid, SIGTERM);
+            }
+        }
+    }
+
+    // -- watchdog --------------------------------------------------
+
+    void
+    watchdogLoop()
+    {
+        while (!watchdogStop_.load(std::memory_order_relaxed)) {
+            const int64_t now = steadyMs();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                for (auto& [pid, worker] : running_) {
+                    if (worker.termSentMs == 0 &&
+                        worker.deadlineAtMs > 0 &&
+                        now >= worker.deadlineAtMs) {
+                        // Cooperative first: the worker's own signal
+                        // handler trips its CancellationToken.
+                        worker.deadlineKill = true;
+                        worker.termSentMs = now;
+                        ::kill(pid, SIGTERM);
+                    } else if (worker.termSentMs != 0 &&
+                               now - worker.termSentMs >=
+                                   std::max<int64_t>(
+                                       1, file_.service.graceMs)) {
+                        // Grace expired: the worker is wedged.
+                        worker.deadlineKill =
+                            worker.deadlineKill || !worker.shutdownTerm;
+                        ::kill(pid, SIGKILL);
+                    }
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+
+    // -- state -----------------------------------------------------
+
+    const JobFile& file_;
+    const SupervisorOptions& opts_;
+
+    Journal journal_;
+    JobLedger ledger_;
+    std::map<std::string, JobProgress> jobs_;
+    std::deque<std::string> ready_;
+    RetrySchedule retry_;
+    BatchSummary summary_;
+    bool shuttingDown_ = false;
+
+    std::mutex mu_;                       // guards running_
+    std::map<pid_t, RunningWorker> running_;
+    std::atomic<bool> watchdogStop_{false};
+
+    Counter& cSubmitted_;
+    Counter& cSucceeded_;
+    Counter& cFailed_;
+    Counter& cShed_;
+    Counter& cRetries_;
+    Counter& cCrashes_;
+    Counter& cDeadlineKills_;
+    Counter& cInterrupted_;
+    Counter& cAttempts_;
+    Gauge& gInflight_;
+    Histogram& hAttemptNs_;
+};
+
+} // namespace
+
+std::optional<BatchSummary>
+runSupervisor(const JobFile& file, const SupervisorOptions& opts,
+              std::string* error)
+{
+    Supervisor supervisor(file, opts);
+    return supervisor.run(error);
+}
+
+} // namespace tileflow

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Supervisor half of the batch evaluation service (`tileflow_jobd`).
+ *
+ * One process owns the batch: it forks crash-isolated workers (a
+ * re-exec of the same binary in --worker mode, one job per worker) so
+ * a panic()/std::abort()/OOM-kill inside an evaluation is a *failed
+ * attempt of one job* — journaled, retried with exponential backoff +
+ * deterministic jitter, and eventually classified permanently failed
+ * at the attempt cap — never a dead service.
+ *
+ * Failure domains and the machinery that fences each one:
+ *
+ *  - worker crash (signal death)      -> reap + classify transient,
+ *    retry with backoff (serve/retry.hpp);
+ *  - worker wedge (ignores SIGTERM)   -> watchdog thread: per-job wall
+ *    deadline, SIGTERM -> grace window -> SIGKILL, journaled reason
+ *    "deadline", other in-flight jobs unaffected;
+ *  - supervisor kill -9               -> the durable journal
+ *    (serve/journal.hpp) replays on restart: terminal jobs are never
+ *    re-run, in-flight ones resume (their attempt re-runs from the
+ *    search checkpoint the worker left behind);
+ *  - operator SIGINT/SIGTERM          -> graceful shutdown: stop
+ *    admitting, SIGTERM in-flight workers (they cancel cooperatively
+ *    and checkpoint), journal `interrupted` (the attempt is not
+ *    charged), exit 0 with the batch resumable;
+ *  - overload                        -> bounded admission: submissions
+ *    beyond the queue cap are shed explicitly (terminal failure,
+ *    reason "shed"), not silently queued without bound.
+ *
+ * Counters/histograms flow through MetricsRegistry::global() under
+ * `serve.*` (DESIGN.md §11); `telemetry_check serve` validates a
+ * service run's export.
+ */
+
+#ifndef TILEFLOW_SERVE_SUPERVISOR_HPP
+#define TILEFLOW_SERVE_SUPERVISOR_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/stop.hpp"
+#include "serve/jobspec.hpp"
+#include "serve/journal.hpp"
+
+namespace tileflow {
+
+struct SupervisorOptions
+{
+    /** Path of the job file (workers re-read it). */
+    std::string jobFilePath;
+
+    /** Journal path; empty derives `<jobFilePath>.journal`. */
+    std::string journalPath;
+
+    /** Directory for per-job search checkpoints; empty disables
+     *  checkpointing (attempts restart from scratch). */
+    std::string workdir;
+
+    /** Worker executable; empty uses /proc/self/exe (re-exec). */
+    std::string workerExe;
+
+    /** Graceful-shutdown switch, usually tripped by a signal handler
+     *  (nullable; must outlive run()). */
+    const CancellationToken* shutdown = nullptr;
+};
+
+/** What happened to the batch (this run's portion). */
+struct BatchSummary
+{
+    uint64_t jobs = 0;             ///< jobs in the file
+    uint64_t alreadyTerminal = 0;  ///< finished in a previous run
+    uint64_t submitted = 0;        ///< newly admitted this run
+    uint64_t shed = 0;             ///< rejected by the queue cap
+    uint64_t attemptsStarted = 0;  ///< workers forked
+    uint64_t succeeded = 0;        ///< terminal successes this run
+    uint64_t failedPermanent = 0;  ///< terminal failures this run
+    uint64_t retriesScheduled = 0;
+    uint64_t crashes = 0;          ///< attempts dead by signal
+    uint64_t deadlineKills = 0;    ///< watchdog SIGTERM/SIGKILL
+    uint64_t interrupted = 0;      ///< attempts cancelled by shutdown
+
+    /** True when a shutdown request ended the run early. */
+    bool shutdownRequested = false;
+
+    /** True when every job in the file is terminal in the journal. */
+    bool complete = false;
+};
+
+/**
+ * Run the batch to completion (or graceful shutdown). Returns nullopt
+ * + `error` only for service-level failures (unwritable journal,
+ * fork exhaustion); job failures are summary entries, never errors.
+ */
+std::optional<BatchSummary> runSupervisor(const JobFile& file,
+                                          const SupervisorOptions& opts,
+                                          std::string* error);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_SERVE_SUPERVISOR_HPP

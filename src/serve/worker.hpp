@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Worker half of the crash-isolation protocol.
+ *
+ * The supervisor re-execs this binary with `--worker` and one job; the
+ * worker runs that single search and reports through two channels:
+ *
+ *  - a *status pipe* (fd passed via --status-fd): `key value` lines
+ *    ending in a bare `end` line. A status without `end` (the worker
+ *    died mid-write) is discarded — the exit status alone then
+ *    classifies the attempt;
+ *  - the *exit code*: 0 success, 10 permanent failure (the job can
+ *    never succeed: bad spec, unknown workload), 11 transient failure
+ *    (unexpected error; retryable), 12 interrupted (SIGTERM during
+ *    graceful shutdown; the attempt is not charged). Death by signal
+ *    (panic()/abort/SIGKILL) is a retryable crash.
+ *
+ * Workers install SIGTERM/SIGINT handlers that trip the search's
+ * CancellationToken, so a supervisor shutdown lets in-flight searches
+ * checkpoint best-so-far state (into `<workdir>/<jobid>.ckpt`) before
+ * exiting — a later attempt resumes the search instead of restarting.
+ *
+ * Fault injection (tests/CI): the TILEFLOW_JOBD_FAULT environment
+ * variable ("crash=0.1,seed=3") makes a deterministic ~10% of
+ * (job, attempt) pairs abort, and a job's `inject` field can force a
+ * wedged (SIGTERM-immune) worker for watchdog coverage.
+ */
+
+#ifndef TILEFLOW_SERVE_WORKER_HPP
+#define TILEFLOW_SERVE_WORKER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/jobspec.hpp"
+
+namespace tileflow {
+
+/** Worker exit codes (the protocol's coarse channel). */
+constexpr int kWorkerExitSuccess = 0;
+constexpr int kWorkerExitPermanent = 10;
+constexpr int kWorkerExitTransient = 11;
+constexpr int kWorkerExitInterrupted = 12;
+
+/** Parsed contents of a worker's status pipe. */
+struct WorkerStatus
+{
+    /** "ok", "failed" or "cancelled". */
+    std::string outcome;
+    std::string reason;
+
+    bool found = false;
+    double bestCycles = 0.0;
+    int64_t evaluations = 0;
+    bool timedOut = false;
+    std::string stopReason;
+    bool resumed = false;
+    int64_t elapsedMs = 0;
+
+    /** True once the terminating `end` line was seen. */
+    bool complete = false;
+};
+
+/** Render a status-pipe payload (shared by worker and tests). */
+std::string encodeWorkerStatus(const WorkerStatus& status);
+
+/** Parse status-pipe bytes; tolerates a torn tail (complete=false). */
+WorkerStatus decodeWorkerStatus(const std::string& text);
+
+/** Deterministic crash-injection plan (TILEFLOW_JOBD_FAULT). */
+struct WorkerFaultPlan
+{
+    double crashFraction = 0.0;
+    uint64_t seed = 1;
+
+    /** Parse "crash=0.1,seed=3"; nullopt when unset/zero. */
+    static std::optional<WorkerFaultPlan> fromEnv();
+
+    /** Pure decision: does (job, attempt) crash under this plan? */
+    bool shouldCrash(const std::string& jobId, int attempt) const;
+};
+
+/**
+ * Run one job in --worker mode: load specs, run the search with a
+ * checkpoint at `<workdir>/<jobId>.ckpt` (workdir may be empty: no
+ * checkpointing), stream the status to `statusFd`, return the exit
+ * code. Never throws.
+ */
+int runWorker(const JobFile& file, const std::string& jobId,
+              int attempt, const std::string& workdir, int statusFd);
+
+} // namespace tileflow
+
+#endif // TILEFLOW_SERVE_WORKER_HPP

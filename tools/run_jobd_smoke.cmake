@@ -1,0 +1,27 @@
+# Fixture-setup script: run a tiny tileflow_jobd batch and leave
+# serve-metrics.json + the journal in OUT_DIR for the serve schema
+# check and the replay audit. Fresh directory each run so the journal
+# never carries state between ctest invocations.
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+file(WRITE ${OUT_DIR}/smoke.jobs "\
+service { concurrency 2 max_attempts 3 backoff_base_ms 5 poll_ms 5 }
+job s1 { workload Bert-S rounds 1 population 4 tiling_samples 6 seed 1 }
+job s2 { workload Bert-S rounds 1 population 4 tiling_samples 6 seed 2 }
+job s3 { workload Bert-S rounds 1 population 4 tiling_samples 6 seed 3 }
+")
+
+execute_process(
+    COMMAND ${TILEFLOW_JOBD} ${OUT_DIR}/smoke.jobs
+        --journal ${OUT_DIR}/smoke.journal
+        --workdir ${OUT_DIR}/work
+        --metrics-out ${OUT_DIR}/serve-metrics.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "tileflow_jobd smoke run failed (rc=${rc}):\n${out}\n${err}")
+endif()
