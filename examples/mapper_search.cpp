@@ -11,6 +11,7 @@
  *            [--trace-out FILE] [--metrics-out FILE] [--progress-ms N]
  *            [--no-incremental] [--subtree-cache-cap N]
  *            [--eval-cache-cap N]
+ *            [--mem-soft-mb N] [--mem-hard-mb N]
  *
  * Candidate evaluations run through the subtree-memoized incremental
  * path by default (bit-identical results, higher throughput; counters
@@ -26,6 +27,15 @@
  * (e.g. examples/specs/fig4.wl) falls back to the workload-agnostic
  * chain space. The reference-dataflow comparison is skipped when the
  * workload's structure doesn't fit it.
+ *
+ * --mem-soft-mb / --mem-hard-mb arm the process-wide memory budget
+ * (DESIGN.md §12): at soft pressure the caches halve their caps and
+ * evict (hit rates change, results don't); at hard pressure caches
+ * flush and in-flight evaluations fail as tagged-infeasible "oom"
+ * entries instead of crashing the search. The TILEFLOW_MEM_SOFT_MB /
+ * TILEFLOW_MEM_HARD_MB environment variables are the fallback, and
+ * TILEFLOW_ALLOC_FAULT (e.g. "rate=0.05,seed=11") injects seeded
+ * std::bad_alloc faults under evaluation.
  *
  * With --checkpoint, an interrupted run (budget hit, ^C and rerun, a
  * crash) resumes from PATH bit-identically. Set the environment
@@ -48,6 +58,7 @@
 
 #include "arch/presets.hpp"
 #include "common/logging.hpp"
+#include "common/membudget.hpp"
 #include "common/signalutil.hpp"
 #include "common/telemetry.hpp"
 #include "core/notation.hpp"
@@ -128,6 +139,8 @@ main(int argc, char** argv)
     std::string workload_path;
     std::string trace_path;
     std::string metrics_path;
+    long long mem_soft_mb = 0;
+    long long mem_hard_mb = 0;
     MapperConfig cfg;
     cfg.population = 8;
     cfg.tilingSamples = 30;
@@ -161,6 +174,10 @@ main(int argc, char** argv)
             cfg.subtreeCacheCap = size_t(std::atoll(value()));
         } else if (arg == "--eval-cache-cap") {
             cfg.evalCacheCap = size_t(std::atoll(value()));
+        } else if (arg == "--mem-soft-mb") {
+            mem_soft_mb = std::atoll(value());
+        } else if (arg == "--mem-hard-mb") {
+            mem_hard_mb = std::atoll(value());
         } else if (arg == "--arch") {
             arch_path = value();
         } else if (arg == "--workload") {
@@ -180,6 +197,14 @@ main(int argc, char** argv)
 
     if (!trace_path.empty())
         setTracingEnabled(true);
+
+    if (mem_soft_mb > 0 || mem_hard_mb > 0) {
+        MemoryBudget::global().configure(
+            mem_soft_mb > 0 ? uint64_t(mem_soft_mb) << 20 : 0,
+            mem_hard_mb > 0 ? uint64_t(mem_hard_mb) << 20 : 0);
+    }
+    if (MemoryBudget::global().enabled())
+        MemoryBudget::installNewHandler();
 
     // First ^C / SIGTERM: cancel cooperatively — the engines write a
     // final checkpoint at the next generation/batch boundary and the

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <new>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -41,6 +42,15 @@ Evaluator::evaluate(const AnalysisTree& tree) const
             return result;
         case FaultKind::None:
             break;
+        }
+    }
+
+    if (const AllocFaultInjector* alloc = allocFaultInjector()) {
+        if (alloc->decideKey(FaultInjector::treeKey(tree))) {
+            static Counter& allocFaults = MetricsRegistry::global()
+                                              .counter("mem.alloc_faults");
+            allocFaults.add();
+            throw std::bad_alloc();
         }
     }
 

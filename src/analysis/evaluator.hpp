@@ -19,6 +19,7 @@
 #include "analysis/latency.hpp"
 #include "analysis/resource.hpp"
 #include "arch/arch.hpp"
+#include "common/membudget.hpp"
 #include "core/tree.hpp"
 
 namespace tileflow {
@@ -94,7 +95,8 @@ class Evaluator
         : workload_(&workload),
           spec_(&spec),
           options_(options),
-          envInjector_(FaultInjector::fromEnv())
+          envInjector_(FaultInjector::fromEnv()),
+          allocEnvInjector_(AllocFaultInjector::fromEnv())
     {
     }
 
@@ -121,6 +123,27 @@ class Evaluator
         return injector_ ? injector_.get() : envInjector_.get();
     }
 
+    /**
+     * Seeded std::bad_alloc injection, keyed on the same structural
+     * tree hash as FaultInjector so a candidate faults identically on
+     * the plain and incremental paths. The TILEFLOW_ALLOC_FAULT
+     * environment variable (read at construction) is the fallback
+     * when no injector is set programmatically.
+     */
+    void
+    setAllocFaultInjector(
+        std::shared_ptr<const AllocFaultInjector> injector)
+    {
+        allocInjector_ = std::move(injector);
+    }
+
+    const AllocFaultInjector*
+    allocFaultInjector() const
+    {
+        return allocInjector_ ? allocInjector_.get()
+                              : allocEnvInjector_.get();
+    }
+
     /** Evaluate one mapping end to end. */
     EvalResult evaluate(const AnalysisTree& tree) const;
 
@@ -130,6 +153,8 @@ class Evaluator
     EvalOptions options_;
     std::shared_ptr<const FaultInjector> injector_;
     std::shared_ptr<const FaultInjector> envInjector_;
+    std::shared_ptr<const AllocFaultInjector> allocInjector_;
+    std::shared_ptr<const AllocFaultInjector> allocEnvInjector_;
 };
 
 } // namespace tileflow

@@ -1,6 +1,7 @@
 #include "analysis/incremental.hpp"
 
 #include <limits>
+#include <new>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -65,6 +66,15 @@ IncrementalEvaluator::evaluate(const AnalysisTree& tree) const
             return result;
         case FaultKind::None:
             break;
+        }
+    }
+
+    if (const AllocFaultInjector* alloc = base_->allocFaultInjector()) {
+        if (alloc->decideKey(FaultInjector::treeKey(tree))) {
+            static Counter& allocFaults = MetricsRegistry::global()
+                                              .counter("mem.alloc_faults");
+            allocFaults.add();
+            throw std::bad_alloc();
         }
     }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "analysis/datamovement.hpp"
+#include "common/membudget.hpp"
 #include "common/telemetry.hpp"
 #include "core/tree.hpp"
 
@@ -87,9 +88,16 @@ class SubtreeCache
      * @param shards              independently-locked map shards
      * @param maxEntriesPerShard  FIFO-evict beyond this many entries
      *                            per shard; 0 = unbounded
+     * @param maxBytesPerShard    FIFO-evict beyond this many
+     *                            (approximate) entry bytes per shard;
+     *                            0 = unbounded. Both caps are halved
+     *                            by soft memory pressure (shrink()).
      */
     explicit SubtreeCache(size_t shards = 16,
-                          size_t maxEntriesPerShard = 4096);
+                          size_t maxEntriesPerShard = 4096,
+                          size_t maxBytesPerShard = 0);
+
+    ~SubtreeCache();
 
     SubtreeCache(const SubtreeCache&) = delete;
     SubtreeCache& operator=(const SubtreeCache&) = delete;
@@ -102,6 +110,29 @@ class SubtreeCache
 
     /** Number of distinct subtrees memoized. */
     size_t size() const;
+
+    /** Approximate bytes held — exact against this cache's own
+     *  insert/eviction accounting (the `analysis.subtree_bytes`
+     *  gauge); see entryBytes(). */
+    uint64_t bytes() const;
+
+    /** Size-pure per-entry byte estimate (key counted twice: map
+     *  entry + FIFO copy), so insert credits == eviction debits and
+     *  the gauge identity bytes == inserted − evicted is exact. */
+    static size_t entryBytes(const SubtreeKey& key,
+                             const SubtreePartial& value);
+
+    /**
+     * Memory-pressure hook (registered with MemoryBudget at
+     * construction). Soft halves caps and evicts down; Hard drops
+     * everything. Instance hit/miss counters are preserved (unlike
+     * clear()). try_lock per shard — contended shards are skipped.
+     * Returns approximate bytes freed.
+     */
+    uint64_t shrink(MemPressure level);
+
+    /** shrink(Hard): drop every entry, keep hit/miss counters. */
+    uint64_t evictAll();
 
     /** Drop every entry (counted as evictions). */
     void clear();
@@ -126,6 +157,7 @@ class SubtreeCache
         mutable std::mutex mutex;
         std::unordered_map<SubtreeKey, SubtreePartial, KeyHash> map;
         std::deque<SubtreeKey> order; ///< insertion order (FIFO cap)
+        size_t bytes = 0; ///< sum of entryBytes() over map (under mutex)
     };
 
     Shard& shardFor(const SubtreeKey& key)
@@ -133,8 +165,12 @@ class SubtreeCache
         return shards_[KeyHash{}(key) % shards_.size()];
     }
 
+    size_t evictOneLocked(Shard& shard);
+    void creditEvictions(uint64_t entries, uint64_t bytes);
+
     std::vector<Shard> shards_;
-    size_t maxEntriesPerShard_;
+    std::atomic<size_t> maxEntriesPerShard_;
+    std::atomic<size_t> maxBytesPerShard_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> evictions_{0};
@@ -149,6 +185,16 @@ class SubtreeCache
         MetricsRegistry::global().counter("analysis.subtree_inserts");
     Counter& metricEvictions_ =
         MetricsRegistry::global().counter("analysis.subtree_evictions");
+    Counter& metricBytesInserted_ = MetricsRegistry::global().counter(
+        "analysis.subtree_bytes_inserted");
+    Counter& metricBytesEvicted_ = MetricsRegistry::global().counter(
+        "analysis.subtree_bytes_evicted");
+    Gauge& metricBytes_ =
+        MetricsRegistry::global().gauge("analysis.subtree_bytes");
+
+    // Last member: destroyed first, so no shrink callback can arrive
+    // once the destructor body runs.
+    MemReclaimRegistration budgetReg_;
 };
 
 } // namespace tileflow

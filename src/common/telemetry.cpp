@@ -1,5 +1,7 @@
 #include "common/telemetry.hpp"
 
+#include "common/membudget.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -391,10 +393,68 @@ struct BufferDirectory
     uint32_t nextTid = 1;
 };
 
+BufferDirectory& directory();
+
+/** Approximate bytes held across all thread buffers. try_lock only:
+ *  this runs under the memory budget's mutex and must never wait on a
+ *  thread that might be inside an allocation-failure reclaim. */
+uint64_t
+traceBytesApprox()
+{
+    BufferDirectory& dir = directory();
+    std::unique_lock<std::mutex> lock(dir.mutex, std::try_to_lock);
+    if (!lock.owns_lock())
+        return 0;
+    uint64_t total = 0;
+    for (const auto& buf : dir.buffers) {
+        std::unique_lock<std::mutex> blk(buf->mutex, std::try_to_lock);
+        if (!blk.owns_lock())
+            continue;
+        total += sizeof(TraceBuffer) +
+                 buf->events.capacity() * sizeof(TraceEvent);
+    }
+    return total;
+}
+
+/**
+ * Memory-pressure shrink for the trace buffers: hard pressure flushes
+ * every buffered event (counted as dropped, so the export reports the
+ * loss rather than hiding it). Soft pressure is a no-op — buffers are
+ * already hard-capped at kMaxEventsPerBuffer. Trace data is
+ * observability-only, so flushing never changes computed results.
+ */
+uint64_t
+traceShrink(MemPressure level)
+{
+    if (level != MemPressure::Hard)
+        return 0;
+    BufferDirectory& dir = directory();
+    std::unique_lock<std::mutex> lock(dir.mutex, std::try_to_lock);
+    if (!lock.owns_lock())
+        return 0;
+    uint64_t freed = 0;
+    for (const auto& buf : dir.buffers) {
+        std::unique_lock<std::mutex> blk(buf->mutex, std::try_to_lock);
+        if (!blk.owns_lock())
+            continue;
+        freed += buf->events.capacity() * sizeof(TraceEvent);
+        buf->dropped += buf->events.size();
+        buf->events.clear();
+        buf->events.shrink_to_fit();
+    }
+    return freed;
+}
+
 BufferDirectory&
 directory()
 {
     static BufferDirectory dir;
+    // Registered after `dir` (so the budget's static outlives nothing
+    // it calls back into) and never unregistered: the directory lives
+    // for the whole process.
+    static const int reg = MemoryBudget::global().registerComponent(
+        "telemetry.trace", &traceBytesApprox, &traceShrink);
+    (void)reg;
     return dir;
 }
 

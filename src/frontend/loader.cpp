@@ -1,12 +1,43 @@
 #include "frontend/loader.hpp"
 
 #include <fstream>
+#include <new>
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/membudget.hpp"
+#include "common/telemetry.hpp"
 #include "core/notation.hpp"
 
 namespace tileflow {
+
+namespace {
+
+/** TILEFLOW_ALLOC_FAULT hook, keyed on the input text so the same
+ *  spec faults identically on every load (and in every process). */
+void
+maybeInjectAllocFault(const std::string& text)
+{
+    const AllocFaultInjector* alloc = AllocFaultInjector::env();
+    if (!alloc || !alloc->decideKey(AllocFaultInjector::textKey(text)))
+        return;
+    static Counter& allocFaults =
+        MetricsRegistry::global().counter("mem.alloc_faults");
+    allocFaults.add();
+    throw std::bad_alloc();
+}
+
+/** F604: allocation failure inside the front end is a *fatal
+ *  diagnostic* (the load fails with the full story in `diags`), never
+ *  a crash. */
+void
+reportOom(DiagnosticEngine& diags, const std::string& path)
+{
+    diags.error("F604", SourceLoc{},
+                concat("out of memory while loading ", quoted(path)));
+}
+
+} // namespace
 
 std::optional<std::string>
 readSpecFile(const std::string& path, DiagnosticEngine& diags,
@@ -42,30 +73,48 @@ std::optional<ArchSpec>
 loadArchSpec(const std::string& path, DiagnosticEngine& diags,
              const ParseLimits& limits)
 {
-    auto text = readSpecFile(path, diags, limits);
-    if (!text)
+    try {
+        auto text = readSpecFile(path, diags, limits);
+        if (!text)
+            return std::nullopt;
+        maybeInjectAllocFault(*text);
+        return parseArchSpec(*text, diags, limits);
+    } catch (const std::bad_alloc&) {
+        reportOom(diags, path);
         return std::nullopt;
-    return parseArchSpec(*text, diags, limits);
+    }
 }
 
 std::optional<Workload>
 loadWorkloadSpec(const std::string& path, DiagnosticEngine& diags,
                  const ParseLimits& limits)
 {
-    auto text = readSpecFile(path, diags, limits);
-    if (!text)
+    try {
+        auto text = readSpecFile(path, diags, limits);
+        if (!text)
+            return std::nullopt;
+        maybeInjectAllocFault(*text);
+        return parseWorkloadSpec(*text, diags, limits);
+    } catch (const std::bad_alloc&) {
+        reportOom(diags, path);
         return std::nullopt;
-    return parseWorkloadSpec(*text, diags, limits);
+    }
 }
 
 std::optional<AnalysisTree>
 loadMapping(const Workload& workload, const std::string& path,
             DiagnosticEngine& diags, const ParseLimits& limits)
 {
-    auto text = readSpecFile(path, diags, limits);
-    if (!text)
+    try {
+        auto text = readSpecFile(path, diags, limits);
+        if (!text)
+            return std::nullopt;
+        maybeInjectAllocFault(*text);
+        return parseNotationDiag(workload, *text, diags, limits);
+    } catch (const std::bad_alloc&) {
+        reportOom(diags, path);
         return std::nullopt;
-    return parseNotationDiag(workload, *text, diags, limits);
+    }
 }
 
 namespace {

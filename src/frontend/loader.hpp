@@ -5,9 +5,11 @@
  * Each loader reads a text file and hands it to the matching parser
  * (arch spec, workload spec, or tile-centric mapping notation). File
  * problems (missing, unreadable, oversized) become F6xx diagnostics;
- * parse problems keep their parser-specific codes. Loaders never
- * throw: they return std::nullopt and leave the full story in the
- * DiagnosticEngine, renderable with diags.render(*sourceText(), path).
+ * parse problems keep their parser-specific codes; an allocation
+ * failure (std::bad_alloc) while reading or parsing becomes F604
+ * ("out of memory"), not a crash. Loaders never throw: they return
+ * std::nullopt and leave the full story in the DiagnosticEngine,
+ * renderable with diags.render(*sourceText(), path).
  */
 
 #ifndef TILEFLOW_FRONTEND_LOADER_HPP

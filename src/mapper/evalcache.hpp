@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/membudget.hpp"
 #include "common/telemetry.hpp"
 
 namespace tileflow {
@@ -66,9 +67,16 @@ class EvalCache
      *        evicted mapping is simply re-evaluated on its next
      *        lookup — so checkpoint/resume runs stay bit-identical
      *        under any cap.
+     * @param maxBytesPerShard    FIFO-evict beyond this many
+     *        (approximate) entry bytes per shard; 0 = unbounded.
+     *        Both caps are halved (to a floor) by soft memory
+     *        pressure — see shrink().
      */
     explicit EvalCache(size_t shards = 16,
-                       size_t maxEntriesPerShard = 0);
+                       size_t maxEntriesPerShard = 0,
+                       size_t maxBytesPerShard = 0);
+
+    ~EvalCache();
 
     EvalCache(const EvalCache&) = delete;
     EvalCache& operator=(const EvalCache&) = delete;
@@ -99,6 +107,37 @@ class EvalCache
 
     /** Number of distinct mappings memoized. */
     size_t size() const;
+
+    /** Approximate bytes held (exact vs. this cache's own insert /
+     *  eviction accounting; see entryBytes()). */
+    uint64_t bytes() const;
+
+    /**
+     * The per-entry byte estimate the accounting uses: a pure
+     * function of entry *sizes* (never capacities), so the bytes
+     * credited at insert equal the bytes debited at eviction and the
+     * `evalcache.bytes` gauge stays exactly
+     * bytes_inserted − bytes_evicted (telemetry_check asserts it).
+     * Counts the key twice — the map entry and the FIFO deque copy.
+     */
+    static size_t entryBytes(const std::vector<int64_t>& choices,
+                             const CachedEval& value);
+
+    /**
+     * Memory-pressure hook (registered with MemoryBudget at
+     * construction). Soft: halve the entry/byte caps — installing a
+     * byte cap at half the current largest shard when unbounded —
+     * and evict down to them. Hard: drop every entry. Unlike
+     * clear(), instance hit/miss counters are preserved, so engines
+     * snapshotting deltas around a run stay consistent when pressure
+     * fires mid-run. Uses try_lock per shard (a contended shard is
+     * skipped and shrunk at the next pressure event). Returns the
+     * approximate bytes freed.
+     */
+    uint64_t shrink(MemPressure level);
+
+    /** shrink(Hard): drop every entry, keep hit/miss counters. */
+    uint64_t evictAll();
 
     /**
      * Visit every memoized entry (checkpoint serialization). Not
@@ -133,12 +172,21 @@ class EvalCache
         std::unordered_map<std::vector<int64_t>, CachedEval, ChoiceHash>
             map;
         std::deque<std::vector<int64_t>> order; ///< FIFO for the cap
+        size_t bytes = 0; ///< sum of entryBytes() over map (under mutex)
     };
 
     Shard& shardFor(uint64_t hash) { return shards_[hash % shards_.size()]; }
 
+    /** Pop the FIFO-oldest entry; returns its bytes (caller holds the
+     *  shard mutex and credits the metrics). */
+    size_t evictOneLocked(Shard& shard);
+
+    /** Credit an eviction batch to instance + registry accounting. */
+    void creditEvictions(uint64_t entries, uint64_t bytes);
+
     std::vector<Shard> shards_;
-    size_t maxEntriesPerShard_;
+    std::atomic<size_t> maxEntriesPerShard_;
+    std::atomic<size_t> maxBytesPerShard_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> evictions_{0};
@@ -152,6 +200,16 @@ class EvalCache
         MetricsRegistry::global().counter("evalcache.inserts");
     Counter& metricEvictions_ =
         MetricsRegistry::global().counter("evalcache.evictions");
+    Counter& metricBytesInserted_ =
+        MetricsRegistry::global().counter("evalcache.bytes_inserted");
+    Counter& metricBytesEvicted_ =
+        MetricsRegistry::global().counter("evalcache.bytes_evicted");
+    Gauge& metricBytes_ =
+        MetricsRegistry::global().gauge("evalcache.bytes");
+
+    // Registered last so it is destroyed first: no shrink callback
+    // can arrive once the destructor body runs.
+    MemReclaimRegistration budgetReg_;
 };
 
 } // namespace tileflow

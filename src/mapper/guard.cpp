@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <exception>
+#include <new>
 
 #include "common/logging.hpp"
+#include "common/membudget.hpp"
 #include "common/telemetry.hpp"
 
 namespace tileflow {
@@ -23,9 +25,23 @@ guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
         MetricsRegistry::global().counter("mapper.evaluations");
     static Counter& failed =
         MetricsRegistry::global().counter("mapper.failed_evaluations");
+    static Counter& oomFailed =
+        MetricsRegistry::global().counter("mem.oom_failed_evals");
     evals.add();
 
     CachedEval out;
+    // Hard memory pressure sheds the evaluation before it allocates
+    // anything: the candidate is reported as a tagged-infeasible
+    // "oom" failure (never an abort), the budget's reclaim has
+    // already flushed the caches, and the search carries on. The
+    // poll is one relaxed load when no budget is configured.
+    if (MemoryBudget::global().poll() == MemPressure::Hard) {
+        out.failed = true;
+        out.failReason = "oom";
+        oomFailed.add();
+        failed.add();
+        return out;
+    }
     try {
         const AnalysisTree tree = space.build(choices);
         const EvalResult full = evaluator.evaluate(tree);
@@ -40,6 +56,14 @@ guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
     } catch (const FatalError& e) {
         out.failed = true;
         out.failReason = e.what();
+    } catch (const std::bad_alloc&) {
+        // Allocation failure anywhere under evaluation (including the
+        // TILEFLOW_ALLOC_FAULT injector) is an infeasible candidate,
+        // not a crash. Reclaim hard so the retry path has headroom.
+        out.failed = true;
+        out.failReason = "oom";
+        oomFailed.add();
+        MemoryBudget::global().reclaim(MemPressure::Hard);
     } catch (const std::exception& e) {
         out.failed = true;
         out.failReason = concat("unexpected exception: ", e.what());

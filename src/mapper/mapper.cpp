@@ -23,8 +23,9 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     ga.progressIntervalMs = config.progressIntervalMs;
 
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
-    EvalCache cache(16, config.evalCacheCap);
-    SubtreeCache subtree_cache(16, config.subtreeCacheCap);
+    EvalCache cache(16, config.evalCacheCap, config.evalCacheBytesCap);
+    SubtreeCache subtree_cache(16, config.subtreeCacheCap,
+                               config.subtreeCacheBytesCap);
     const IncrementalEvaluator incremental(evaluator, subtree_cache);
 
     GeneticMapper mapper(evaluator, space, ga, &pool, &cache);
@@ -59,8 +60,9 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
 {
     Rng rng(seed);
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
-    EvalCache cache(16, config.evalCacheCap);
-    SubtreeCache subtree_cache(16, config.subtreeCacheCap);
+    EvalCache cache(16, config.evalCacheCap, config.evalCacheBytesCap);
+    SubtreeCache subtree_cache(16, config.subtreeCacheCap,
+                               config.subtreeCacheBytesCap);
     const IncrementalEvaluator incremental(evaluator, subtree_cache);
 
     const StopControl stop(Deadline::afterMs(config.timeBudgetMs),

@@ -1,6 +1,7 @@
 #include "mapper/mcts.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/membudget.hpp"
 #include "common/telemetry.hpp"
 #include "mapper/checkpoint.hpp"
 
@@ -60,6 +62,19 @@ writeNode(CkptWriter& w, const SearchNode& node)
     w.u64(node.children.size());
     for (const auto& child : node.children)
         writeNode(w, *child);
+}
+
+/** Approximate heap bytes of one SearchNode: the node itself, its
+ *  unique_ptr slot in the parent, and allocator overhead. */
+constexpr uint64_t kNodeBytes = sizeof(SearchNode) + 32;
+
+uint64_t
+countNodes(const SearchNode& node)
+{
+    uint64_t n = 1;
+    for (const auto& child : node.children)
+        n += countNodes(*child);
+    return n;
 }
 
 bool
@@ -147,6 +162,22 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
     double best = std::numeric_limits<double>::infinity();
     int done = 0;
 
+    // MemoryBudget byte accounting for the search tree (DESIGN.md
+    // §12). Report-only: the tree is search *state*, not a cache —
+    // pruning it would change the trajectory, so shrink frees
+    // nothing and pressure relief comes from the caches and from
+    // guardedEvaluate shedding evaluations at hard pressure.
+    std::atomic<uint64_t> tree_bytes{kNodeBytes};
+    static Gauge& tree_gauge =
+        MetricsRegistry::global().gauge("mapper.mcts_tree_bytes");
+    const MemReclaimRegistration budget_reg(
+        "mcts.tree",
+        [&tree_bytes] {
+            return tree_bytes.load(std::memory_order_relaxed);
+        },
+        [](MemPressure) -> uint64_t { return 0; });
+    tree_gauge.set(double(kNodeBytes));
+
     uint64_t config_hash = kCkptHashInit;
     if (!ckptPath_.empty()) {
         config_hash = ckptHash(config_hash, ckptSalt_);
@@ -196,6 +227,8 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 result = std::move(restored);
                 result.resumed = true;
                 root = std::move(restored_root);
+                tree_bytes.store(countNodes(root) * kNodeBytes,
+                                 std::memory_order_relaxed);
                 best = restored_best;
                 done = int(restored_done);
                 restored_elapsed_ms = ckpt_elapsed_ms;
@@ -330,6 +363,9 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                     node->children.resize(knob.choices.size());
                     for (auto& child : node->children)
                         child = std::make_unique<SearchNode>();
+                    tree_bytes.fetch_add(knob.choices.size() *
+                                             kNodeBytes,
+                                         std::memory_order_relaxed);
                 }
                 size_t pick = 0;
                 double best_ucb =
@@ -436,6 +472,9 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 n->totalReward += reward;
         }
         done += batch;
+        tree_gauge.set(
+            double(tree_bytes.load(std::memory_order_relaxed)));
+        MemoryBudget::global().poll();
 
         if (progress.due()) {
             const double secs =
@@ -462,6 +501,7 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
     }
     if (!result.timedOut)
         save_checkpoint();
+    tree_gauge.set(0.0); // the tree dies with this frame
     if (result.found)
         result.bestCycles = best;
     if (cache_) {

@@ -292,17 +292,25 @@ class Parser
                 ok = parseU64(*key, *v, &job.seed);
             else if (key->text == "max_attempts")
                 ok = parseInt(*key, *v, &job.maxAttempts);
-            else if (key->text == "inject") {
+            else if (key->text == "mem_limit_mb") {
+                ok = parseI64(*key, *v, &job.memLimitMb);
+                if (ok && job.memLimitMb < 0)
+                    return failb(v->line,
+                                 "'mem_limit_mb' wants >= 0, got '" +
+                                     v->text + "'");
+            } else if (key->text == "inject") {
                 if (v->text == "none")
                     job.inject = JobInject::None;
                 else if (v->text == "hang")
                     job.inject = JobInject::Hang;
                 else if (v->text == "crash_seeded")
                     job.inject = JobInject::CrashSeeded;
+                else if (v->text == "oom")
+                    job.inject = JobInject::Oom;
                 else
                     return failb(v->line,
-                                 "inject wants none|hang|crash_seeded, "
-                                 "got '" + v->text + "'");
+                                 "inject wants none|hang|crash_seeded"
+                                 "|oom, got '" + v->text + "'");
             } else
                 return failb(key->line,
                              "unknown job key '" + key->text + "'");

@@ -27,7 +27,9 @@
  *       deadline_ms 0          # wall deadline the watchdog enforces
  *       seed 7
  *       max_attempts 5         # per-job override
- *       inject none            # none | hang | crash_seeded (tests/CI)
+ *       mem_limit_mb 0         # RLIMIT_AS per attempt; 0 = unlimited
+ *       inject none            # none | hang | crash_seeded | oom
+ *                              # (tests/CI)
  *     }
  *
  * Job ids are [A-Za-z0-9_.-]+ (they become journal keys and
@@ -53,6 +55,9 @@ enum class JobInject
     None,        ///< run normally
     Hang,        ///< wedge: block SIGTERM and sleep past any deadline
     CrashSeeded, ///< abort iff hash(id, attempt, seed) < crash fraction
+    Oom,         ///< allocate ~2x mem_limit_mb (shrinking per degrade
+                 ///< level) so the attempt dies on RLIMIT_AS until the
+                 ///< supervisor's degraded retries make it fit
 };
 
 /** One search request. */
@@ -81,6 +86,12 @@ struct JobSpec
 
     /** Per-job attempt-cap override (0 = service default). */
     int maxAttempts = 0;
+
+    /** Address-space cap per attempt in MiB, applied in the worker via
+     *  setrlimit(RLIMIT_AS) (0 = unlimited). The worker also arms its
+     *  MemoryBudget below the cap so pressure handling degrades
+     *  searches gracefully before malloc ever fails. */
+    int64_t memLimitMb = 0;
 
     JobInject inject = JobInject::None;
 };

@@ -273,6 +273,200 @@ readJournal(const std::string& path,
     return true;
 }
 
+namespace {
+
+/** Which event kind wrote a job's final lastReason (compaction must
+ *  replay reason-setters in an order that lands the same one last). */
+enum class ReasonSource
+{
+    None,
+    AttemptFailed,
+    Interrupted,
+    Failed,
+};
+
+/** Per-job payloads the ledger fold forgets but compaction keeps. */
+struct CompactionSidecar
+{
+    ReasonSource reasonSource = ReasonSource::None;
+    std::string attemptFailedPayload; ///< last attempt_failed payload
+    std::string interruptedPayload;
+    int interruptedAttempt = 0;
+    std::string succeededPayload; ///< last succeeded payload
+    int succeededAttempt = 0;
+    std::string failedPayload;
+    int failedAttempt = 0;
+};
+
+bool
+sameEntry(const JobLedger::Entry& a, const JobLedger::Entry& b)
+{
+    return a.state == b.state && a.attemptsFailed == b.attemptsFailed &&
+           a.attemptsStarted == b.attemptsStarted &&
+           a.succeededRecords == b.succeededRecords &&
+           a.lastReason == b.lastReason;
+}
+
+} // namespace
+
+std::optional<std::vector<JournalRecord>>
+compactJournalRecords(const std::vector<JournalRecord>& records)
+{
+    JobLedger ledger;
+    std::map<std::string, CompactionSidecar> sidecars;
+    for (const JournalRecord& rec : records) {
+        ledger.apply(rec);
+        CompactionSidecar& side = sidecars[rec.jobId];
+        switch (rec.event) {
+        case JobEvent::AttemptFailed:
+            side.reasonSource = ReasonSource::AttemptFailed;
+            side.attemptFailedPayload = rec.payload;
+            break;
+        case JobEvent::Interrupted:
+            side.reasonSource = ReasonSource::Interrupted;
+            side.interruptedPayload = rec.payload;
+            side.interruptedAttempt = rec.attempt;
+            break;
+        case JobEvent::Succeeded:
+            side.succeededPayload = rec.payload;
+            side.succeededAttempt = rec.attempt;
+            break;
+        case JobEvent::Failed:
+            side.reasonSource = ReasonSource::Failed;
+            side.failedPayload = rec.payload;
+            side.failedAttempt = rec.attempt;
+            break;
+        case JobEvent::Submitted:
+        case JobEvent::Started:
+            break;
+        }
+    }
+
+    std::vector<JournalRecord> out;
+    for (const auto& [jobId, entry] : ledger.jobs()) {
+        const CompactionSidecar& side = sidecars[jobId];
+        out.push_back({jobId, JobEvent::Submitted, 0, ""});
+        const auto emitStarted = [&] {
+            if (entry.attemptsStarted > 0)
+                out.push_back({jobId, JobEvent::Started,
+                               entry.attemptsStarted, ""});
+        };
+        const auto emitAttemptFailed = [&] {
+            if (entry.attemptsFailed > 0)
+                out.push_back({jobId, JobEvent::AttemptFailed,
+                               entry.attemptsFailed,
+                               side.attemptFailedPayload});
+        };
+        const auto emitInterrupted = [&] {
+            if (side.reasonSource == ReasonSource::Interrupted)
+                out.push_back({jobId, JobEvent::Interrupted,
+                               side.interruptedAttempt,
+                               side.interruptedPayload});
+        };
+        if (entry.state == JobLedger::State::Running) {
+            // `started` must land last of the non-terminal events to
+            // leave the job Running again after replay.
+            emitAttemptFailed();
+            emitInterrupted();
+            emitStarted();
+        } else {
+            emitStarted();
+            emitAttemptFailed();
+            emitInterrupted();
+        }
+        // Succeeded multiplicity is the `--replay` audit's
+        // exactly-once signal; compaction must preserve a violation,
+        // not paper over it.
+        for (int i = 0; i < entry.succeededRecords; ++i)
+            out.push_back({jobId, JobEvent::Succeeded,
+                           side.succeededAttempt,
+                           side.succeededPayload});
+        if (entry.state == JobLedger::State::Failed ||
+            side.reasonSource == ReasonSource::Failed)
+            out.push_back({jobId, JobEvent::Failed, side.failedAttempt,
+                           side.failedPayload});
+    }
+
+    // Self-check: the compacted sequence must fold to the identical
+    // ledger. Any divergence (a record pattern this synthesis does
+    // not model) vetoes compaction.
+    JobLedger check;
+    check.applyAll(out);
+    if (check.jobs().size() != ledger.jobs().size())
+        return std::nullopt;
+    for (const auto& [jobId, entry] : ledger.jobs()) {
+        const JobLedger::Entry* other = check.find(jobId);
+        if (!other || !sameEntry(entry, *other))
+            return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<JournalCompaction>
+compactJournalFile(const std::string& path, std::string* error)
+{
+    JournalCompaction result;
+    std::vector<JournalRecord> records;
+    if (!readJournal(path, records))
+        return result; // absent or unrecognized: nothing to compact
+    result.recordsBefore = records.size();
+    result.recordsAfter = records.size();
+
+    const auto compacted = compactJournalRecords(records);
+    if (!compacted) {
+        warn("journal '", path,
+             "': compaction cannot reproduce the ledger; keeping the "
+             "full journal");
+        return result;
+    }
+
+    std::string before = kHeader;
+    before += '\n';
+    for (const JournalRecord& rec : records) {
+        before += journalLine(rec);
+        before += '\n';
+    }
+    std::string after = kHeader;
+    after += '\n';
+    for (const JournalRecord& rec : *compacted) {
+        after += journalLine(rec);
+        after += '\n';
+    }
+    result.bytesBefore = before.size();
+    result.bytesAfter = after.size();
+    if (after.size() >= before.size())
+        return result; // not smaller: leave the journal alone
+
+    const std::string tmp = path + ".compact.tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        if (error)
+            *error = concat("cannot open '", tmp, "' for writing");
+        return std::nullopt;
+    }
+    const bool wrote =
+        std::fwrite(after.data(), 1, after.size(), f) == after.size() &&
+        ckptFsyncFile(f);
+    std::fclose(f);
+    if (!wrote) {
+        std::remove(tmp.c_str());
+        if (error)
+            *error = concat("cannot write '", tmp, "'");
+        return std::nullopt;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        if (error)
+            *error = concat("cannot rename '", tmp, "' over '", path,
+                            "'");
+        return std::nullopt;
+    }
+    ckptFsyncParentDir(path);
+    result.rewritten = true;
+    result.recordsAfter = compacted->size();
+    return result;
+}
+
 void
 JobLedger::apply(const JournalRecord& rec)
 {

@@ -119,6 +119,40 @@ std::string journalLine(const JournalRecord& rec);
 /** Parse one on-disk line; nullopt when malformed or checksum fails. */
 std::optional<JournalRecord> parseJournalLine(const std::string& line);
 
+/** Outcome of a journal compaction pass (see compactJournalFile). */
+struct JournalCompaction
+{
+    bool rewritten = false;
+    size_t recordsBefore = 0;
+    size_t recordsAfter = 0;
+    size_t bytesBefore = 0;
+    size_t bytesAfter = 0;
+};
+
+/**
+ * Synthesize a minimal record sequence whose JobLedger fold is
+ * *exactly* the fold of `records` — same jobs, states, attempt
+ * counters, succeeded-record multiplicity (the exactly-once audit
+ * signal) and last reasons. Self-checking: the candidate is re-folded
+ * and compared field-by-field; nullopt when it does not reproduce the
+ * original ledger (the caller then keeps the full journal — losing
+ * history is never an option, refusing to compact always is).
+ */
+std::optional<std::vector<JournalRecord>>
+compactJournalRecords(const std::vector<JournalRecord>& records);
+
+/**
+ * Compact the journal at `path` in place, atomically (tmp + fsync +
+ * rename + parent-dir fsync, the checkpoint durability discipline).
+ * Run only while no supervisor has the journal open — i.e. at clean
+ * startup, before Journal::open. The file is rewritten only when the
+ * compacted form is strictly smaller; a missing or unreadable journal
+ * is a no-op, not an error. Returns nullopt only for real IO failures
+ * while writing the replacement.
+ */
+std::optional<JournalCompaction>
+compactJournalFile(const std::string& path, std::string* error);
+
 /**
  * The fold over a record sequence that defines each job's state.
  * Deterministic and idempotent in the sense that a given record

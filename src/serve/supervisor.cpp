@@ -53,6 +53,10 @@ struct JobProgress
 {
     const JobSpec* spec = nullptr;
     int failedAttempts = 0;
+    /** Attempts that exited kWorkerExitResource; the next launch runs
+     *  the worker with `--degrade <this>` (the degraded-retry
+     *  ladder). */
+    int resourceFailures = 0;
     bool terminal = false;
 };
 
@@ -81,6 +85,8 @@ class Supervisor
           cCrashes_(MetricsRegistry::global().counter("serve.crashes")),
           cDeadlineKills_(MetricsRegistry::global().counter(
               "serve.deadline_kills")),
+          cResourceFailures_(MetricsRegistry::global().counter(
+              "serve.resource_failures")),
           cInterrupted_(MetricsRegistry::global().counter(
               "serve.interrupted")),
           cAttempts_(MetricsRegistry::global().counter(
@@ -149,6 +155,13 @@ class Supervisor
         }
         journal_ = std::move(*journal);
         ledger_.applyAll(replayed);
+        // Rebuild each job's degraded-retry rung from the journal so a
+        // restarted supervisor does not retry an OOMing job back at
+        // full size.
+        for (const JournalRecord& rec : replayed)
+            if (rec.event == JobEvent::AttemptFailed &&
+                rec.payload.rfind("resource", 0) == 0)
+                replayedResourceFailures_[rec.jobId] += 1;
         return true;
     }
 
@@ -213,6 +226,9 @@ class Supervisor
             // cap consumed goes terminal now (the previous supervisor
             // died between journaling attempt_failed and failed).
             progress.failedAttempts = entry->attemptsFailed;
+            const auto rung = replayedResourceFailures_.find(job.id);
+            if (rung != replayedResourceFailures_.end())
+                progress.resourceFailures = rung->second;
             if (progress.failedAttempts >= attemptCap(job)) {
                 finalizeFailed(job.id, entry->lastReason.empty()
                                            ? "attempt cap exhausted"
@@ -274,11 +290,14 @@ class Supervisor
                 exe = "/proc/self/exe";
             const std::string attempt_s = std::to_string(attempt);
             const std::string fd_s = std::to_string(fds[1]);
+            const std::string degrade_s =
+                std::to_string(progress.resourceFailures);
             ::execl(exe.c_str(), exe.c_str(), "--worker", "--job-file",
                     opts_.jobFilePath.c_str(), "--job-id",
                     jobId.c_str(), "--attempt", attempt_s.c_str(),
                     "--workdir", opts_.workdir.c_str(), "--status-fd",
-                    fd_s.c_str(), (char*)nullptr);
+                    fd_s.c_str(), "--degrade", degrade_s.c_str(),
+                    (char*)nullptr);
             _exit(127); // exec failed
         }
 
@@ -378,6 +397,20 @@ class Supervisor
                 finalizeFailed(jobId,
                                report.reason.empty() ? "permanent failure"
                                                      : report.reason);
+                return;
+            }
+            if (code == kWorkerExitResource) {
+                // Out of memory under the job's cap: NOT a crash. The
+                // retry runs one rung down the degraded ladder
+                // (supervisorside state bumped here feeds --degrade on
+                // the next launch of this job).
+                summary_.resourceFailures += 1;
+                cResourceFailures_.add();
+                jobs_[jobId].resourceFailures += 1;
+                handleAttemptFailure(jobId, worker.attempt,
+                                     report.reason.empty()
+                                         ? "resource"
+                                         : report.reason);
                 return;
             }
             std::string reason =
@@ -544,6 +577,7 @@ class Supervisor
     Journal journal_;
     JobLedger ledger_;
     std::map<std::string, JobProgress> jobs_;
+    std::map<std::string, int> replayedResourceFailures_;
     std::deque<std::string> ready_;
     RetrySchedule retry_;
     BatchSummary summary_;
@@ -560,6 +594,7 @@ class Supervisor
     Counter& cRetries_;
     Counter& cCrashes_;
     Counter& cDeadlineKills_;
+    Counter& cResourceFailures_;
     Counter& cInterrupted_;
     Counter& cAttempts_;
     Gauge& gInflight_;

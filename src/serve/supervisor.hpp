@@ -13,6 +13,11 @@
  *
  *  - worker crash (signal death)      -> reap + classify transient,
  *    retry with backoff (serve/retry.hpp);
+ *  - worker out of memory (exit 13, RLIMIT_AS from the job's
+ *    mem_limit_mb)                    -> classified "resource", NOT a
+ *    crash: retried on a degraded ladder (each retry halves the
+ *    worker's thread count and cache budgets via --degrade N),
+ *    journaled `attempt_failed reason=resource ...`;
  *  - worker wedge (ignores SIGTERM)   -> watchdog thread: per-job wall
  *    deadline, SIGTERM -> grace window -> SIGKILL, journaled reason
  *    "deadline", other in-flight jobs unaffected;
@@ -80,6 +85,7 @@ struct BatchSummary
     uint64_t crashes = 0;          ///< attempts dead by signal
     uint64_t deadlineKills = 0;    ///< watchdog SIGTERM/SIGKILL
     uint64_t interrupted = 0;      ///< attempts cancelled by shutdown
+    uint64_t resourceFailures = 0; ///< attempts out of memory (exit 13)
 
     /** True when a shutdown request ended the run early. */
     bool shutdownRequested = false;

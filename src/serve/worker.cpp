@@ -1,16 +1,22 @@
 #include "serve/worker.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
+#include <vector>
 
 #include <csignal>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "arch/presets.hpp"
 #include "common/logging.hpp"
+#include "common/membudget.hpp"
 #include "common/signalutil.hpp"
+#include "common/threadpool.hpp"
 #include "dataflows/attention.hpp"
 #include "frontend/loader.hpp"
 #include "ir/shapes.hpp"
@@ -141,7 +147,7 @@ WorkerFaultPlan::shouldCrash(const std::string& jobId, int attempt) const
 
 int
 runWorker(const JobFile& file, const std::string& jobId, int attempt,
-          const std::string& workdir, int statusFd)
+          const std::string& workdir, int statusFd, int degrade)
 {
     // An orphaned worker (its supervisor was kill -9'd) must not die
     // writing status into the torn-down pipe.
@@ -198,6 +204,23 @@ runWorker(const JobFile& file, const std::string& jobId, int attempt,
               attempt, ")");
     }
 
+    const int degrade_shift = std::clamp(degrade, 0, 16);
+    if (job->memLimitMb > 0) {
+        const uint64_t limit_bytes = uint64_t(job->memLimitMb) << 20;
+        struct rlimit lim;
+        lim.rlim_cur = rlim_t(limit_bytes);
+        lim.rlim_max = rlim_t(limit_bytes);
+        if (::setrlimit(RLIMIT_AS, &lim) != 0)
+            warn("worker: setrlimit(RLIMIT_AS, ", job->memLimitMb,
+                 "MB) failed; running uncapped");
+        // Arm the budget below the hard OS cap: soft pressure shrinks
+        // caches at 50%, hard pressure sheds evaluations at 75%, so
+        // the search degrades before malloc ever returns null.
+        MemoryBudget::global().configure(limit_bytes / 2,
+                                         limit_bytes * 3 / 4);
+        MemoryBudget::installNewHandler();
+    }
+
     // Graceful shutdown: SIGTERM/SIGINT trip the search's token; the
     // engines checkpoint at the next boundary and return best-so-far.
     // No hard-exit-on-second here — escalation is the supervisor's
@@ -206,6 +229,21 @@ runWorker(const JobFile& file, const std::string& jobId, int attempt,
     installStopSignalHandlers(&cancel, false);
 
     try {
+        if (job->inject == JobInject::Oom && job->memLimitMb > 0) {
+            // Demand roughly 2x the address-space cap, shrinking by
+            // half per degrade level: attempts 1-2 die on RLIMIT_AS
+            // (exit 13), a twice-degraded retry fits and proceeds.
+            const size_t want =
+                size_t((uint64_t(job->memLimitMb) << 21) >>
+                       degrade_shift);
+            std::vector<char> ballast(want, 1);
+            // Touched and immediately dropped: the surviving attempt
+            // runs its search with the ballast released.
+            if (ballast[want / 2] != 1)
+                return failWith("failed", "ballast corrupted",
+                                kWorkerExitTransient);
+        }
+
         Workload workload = [&] {
             if (!job->workloadSpecPath.empty())
                 return loadWorkloadSpecOrDie(job->workloadSpecPath);
@@ -240,6 +278,29 @@ runWorker(const JobFile& file, const std::string& jobId, int attempt,
         cfg.cancel = &cancel;
         if (!workdir.empty())
             cfg.checkpointPath = workdir + "/" + jobId + ".ckpt";
+        if (degrade_shift > 0) {
+            // Degraded retry: halve the worker thread count and cache
+            // budgets per resource failure. All of these knobs change
+            // throughput and hit rates only, never search values, so
+            // a degraded attempt still resumes the checkpoint
+            // bit-identically.
+            const int base =
+                int(ThreadPool::defaultThreadCount());
+            cfg.threads = std::max(1, base >> degrade_shift);
+            if (cfg.subtreeCacheCap > 0)
+                cfg.subtreeCacheCap = std::max<size_t>(
+                    64, cfg.subtreeCacheCap >> degrade_shift);
+        }
+        if (job->memLimitMb > 0) {
+            // Bound each cache to ~1/4 of the cap in aggregate
+            // (16 shards x limit/64), halved per degrade level.
+            const uint64_t limit_bytes = uint64_t(job->memLimitMb)
+                                         << 20;
+            const size_t per_shard = size_t(std::max<uint64_t>(
+                4096, (limit_bytes / 64) >> degrade_shift));
+            cfg.evalCacheBytesCap = per_shard;
+            cfg.subtreeCacheBytesCap = per_shard;
+        }
 
         const MapperResult result = exploreSpace(model, space, cfg);
 
@@ -267,6 +328,13 @@ runWorker(const JobFile& file, const std::string& jobId, int attempt,
     } catch (const FatalError& err) {
         // Spec/config problems cannot be fixed by retrying.
         return failWith("failed", err.what(), kWorkerExitPermanent);
+    } catch (const std::bad_alloc&) {
+        // Allocation failure that escaped the guarded evaluation path
+        // (search bookkeeping, spec loading, injected ballast): the
+        // attempt ran out of its memory budget. Distinct exit code so
+        // the supervisor retries degraded instead of identically.
+        return failWith("failed", "resource: out of memory",
+                        kWorkerExitResource);
     } catch (const std::exception& err) {
         return failWith("failed", err.what(), kWorkerExitTransient);
     } catch (...) {

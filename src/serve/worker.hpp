@@ -12,8 +12,10 @@
  *  - the *exit code*: 0 success, 10 permanent failure (the job can
  *    never succeed: bad spec, unknown workload), 11 transient failure
  *    (unexpected error; retryable), 12 interrupted (SIGTERM during
- *    graceful shutdown; the attempt is not charged). Death by signal
- *    (panic()/abort/SIGKILL) is a retryable crash.
+ *    graceful shutdown; the attempt is not charged), 13 resource
+ *    exhaustion (std::bad_alloc under the job's mem_limit_mb cap;
+ *    retried with degraded thread count / cache budgets). Death by
+ *    signal (panic()/abort/SIGKILL) is a retryable crash.
  *
  * Workers install SIGTERM/SIGINT handlers that trip the search's
  * CancellationToken, so a supervisor shutdown lets in-flight searches
@@ -42,6 +44,11 @@ constexpr int kWorkerExitSuccess = 0;
 constexpr int kWorkerExitPermanent = 10;
 constexpr int kWorkerExitTransient = 11;
 constexpr int kWorkerExitInterrupted = 12;
+/** Resource exhaustion (allocation failure under mem_limit_mb):
+ *  retryable, but the supervisor retries *degraded* — halved thread
+ *  count and cache caps per prior resource failure — instead of
+ *  repeating the exact attempt that just ran out of memory. */
+constexpr int kWorkerExitResource = 13;
 
 /** Parsed contents of a worker's status pipe. */
 struct WorkerStatus
@@ -86,9 +93,15 @@ struct WorkerFaultPlan
  * checkpoint at `<workdir>/<jobId>.ckpt` (workdir may be empty: no
  * checkpointing), stream the status to `statusFd`, return the exit
  * code. Never throws.
+ *
+ * `degrade` is the supervisor's resource-retry ladder level: each
+ * level halves the evaluation thread count (floor 1) and the cache
+ * byte budgets, so a job that OOMed keeps retrying with a smaller
+ * footprint instead of hitting the same wall.
  */
 int runWorker(const JobFile& file, const std::string& jobId,
-              int attempt, const std::string& workdir, int statusFd);
+              int attempt, const std::string& workdir, int statusFd,
+              int degrade = 0);
 
 } // namespace tileflow
 

@@ -289,6 +289,181 @@ TEST(JobLedgerTest, TerminalStatesAreSticky)
 }
 
 // -------------------------------------------------------------------
+// Journal compaction
+// -------------------------------------------------------------------
+
+/** Fold both sequences and compare every ledger field. */
+void
+expectSameLedger(const std::vector<JournalRecord>& a,
+                 const std::vector<JournalRecord>& b)
+{
+    JobLedger la;
+    la.applyAll(a);
+    JobLedger lb;
+    lb.applyAll(b);
+    ASSERT_EQ(la.jobs().size(), lb.jobs().size());
+    for (const auto& [id, ea] : la.jobs()) {
+        const auto* eb = lb.find(id);
+        ASSERT_NE(eb, nullptr) << id;
+        EXPECT_EQ(ea.state, eb->state) << id;
+        EXPECT_EQ(ea.attemptsFailed, eb->attemptsFailed) << id;
+        EXPECT_EQ(ea.attemptsStarted, eb->attemptsStarted) << id;
+        EXPECT_EQ(ea.succeededRecords, eb->succeededRecords) << id;
+        EXPECT_EQ(ea.lastReason, eb->lastReason) << id;
+    }
+}
+
+TEST(JournalCompactionTest, RetriedSuccessCompactsToMinimalSequence)
+{
+    const std::vector<JournalRecord> records = {
+        {"a", JobEvent::Submitted, 0, ""},
+        {"a", JobEvent::Started, 1, ""},
+        {"a", JobEvent::AttemptFailed, 1, "crash:SIGSEGV"},
+        {"a", JobEvent::Started, 2, ""},
+        {"a", JobEvent::Interrupted, 2, "shutdown"},
+        {"a", JobEvent::Started, 3, ""},
+        {"a", JobEvent::Succeeded, 3, "cycles=42"},
+    };
+    const auto compacted = compactJournalRecords(records);
+    ASSERT_TRUE(compacted.has_value());
+    EXPECT_LT(compacted->size(), records.size());
+    expectSameLedger(records, *compacted);
+}
+
+TEST(JournalCompactionTest, PreservesSucceededMultiplicity)
+{
+    // Two success records are an exactly-once violation; compaction
+    // must preserve the violation for the --replay audit, never
+    // paper over it.
+    const std::vector<JournalRecord> records = {
+        {"a", JobEvent::Submitted, 0, ""},
+        {"a", JobEvent::Started, 1, ""},
+        {"a", JobEvent::Succeeded, 1, "ok"},
+        {"a", JobEvent::Succeeded, 1, "ok again"},
+    };
+    const auto compacted = compactJournalRecords(records);
+    ASSERT_TRUE(compacted.has_value());
+    int successes = 0;
+    for (const JournalRecord& rec : *compacted)
+        if (rec.event == JobEvent::Succeeded)
+            ++successes;
+    EXPECT_EQ(successes, 2);
+    expectSameLedger(records, *compacted);
+}
+
+TEST(JournalCompactionTest, RunningAndPendingJobsSurvive)
+{
+    // Non-terminal states must fold back exactly: a Running job (its
+    // worker was alive when the supervisor died) and a Pending one
+    // with consumed attempts.
+    const std::vector<JournalRecord> records = {
+        {"run", JobEvent::Submitted, 0, ""},
+        {"run", JobEvent::AttemptFailed, 1, "transient"},
+        {"run", JobEvent::Started, 2, ""},
+        {"pend", JobEvent::Submitted, 0, ""},
+        {"pend", JobEvent::Started, 1, ""},
+        {"pend", JobEvent::AttemptFailed, 1, "resource: oom"},
+        {"done", JobEvent::Submitted, 0, ""},
+        {"done", JobEvent::Started, 1, ""},
+        {"done", JobEvent::Failed, 1, "cap"},
+    };
+    const auto compacted = compactJournalRecords(records);
+    ASSERT_TRUE(compacted.has_value());
+    expectSameLedger(records, *compacted);
+
+    JobLedger ledger;
+    ledger.applyAll(*compacted);
+    EXPECT_EQ(ledger.find("run")->state, JobLedger::State::Running);
+    EXPECT_EQ(ledger.find("pend")->state, JobLedger::State::Pending);
+    EXPECT_EQ(ledger.find("pend")->lastReason, "resource: oom");
+    EXPECT_EQ(ledger.find("done")->state, JobLedger::State::Failed);
+}
+
+TEST(JournalCompactionTest, PathologicalSequencesNeverLoseState)
+{
+    // Sequences a healthy supervisor never writes (late records after
+    // terminal states, reasons overwritten post-mortem). Compaction
+    // either reproduces the fold exactly or refuses — both are
+    // correct; silent divergence is the only failure.
+    const std::vector<std::vector<JournalRecord>> cases = {
+        {{"x", JobEvent::Succeeded, 1, "ok"},
+         {"x", JobEvent::AttemptFailed, 2, "late failure"}},
+        {{"x", JobEvent::Failed, 1, "first"},
+         {"x", JobEvent::Failed, 2, "second"}},
+        {{"x", JobEvent::Submitted, 0, ""},
+         {"x", JobEvent::Succeeded, 1, "ok"},
+         {"x", JobEvent::Failed, 1, "post-success failure"}},
+        {{"x", JobEvent::Interrupted, 1, "shutdown"},
+         {"x", JobEvent::Started, 2, ""},
+         {"x", JobEvent::Interrupted, 2, "shutdown again"}},
+    };
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const auto compacted = compactJournalRecords(cases[i]);
+        if (!compacted.has_value())
+            continue; // refusal keeps the full journal: always safe
+        expectSameLedger(cases[i], *compacted);
+    }
+}
+
+TEST(JournalCompactionTest, FileCompactionIsAtomicAndIdempotent)
+{
+    const std::string path = servePath("journal_compact");
+    {
+        std::vector<JournalRecord> replayed;
+        auto journal = Journal::open(path, replayed);
+        ASSERT_TRUE(journal.has_value());
+        for (int attempt = 1; attempt <= 5; ++attempt) {
+            if (attempt == 1)
+                journal->append({"j", JobEvent::Submitted, 0, ""});
+            journal->append({"j", JobEvent::Started, attempt, ""});
+            if (attempt < 5)
+                journal->append({"j", JobEvent::AttemptFailed, attempt,
+                                 "crash:SIGKILL"});
+        }
+        journal->append({"j", JobEvent::Succeeded, 5, "ok"});
+    }
+    std::vector<JournalRecord> original;
+    ASSERT_TRUE(readJournal(path, original));
+
+    std::string error;
+    const auto result = compactJournalFile(path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_TRUE(result->rewritten);
+    EXPECT_EQ(result->recordsBefore, original.size());
+    EXPECT_LT(result->recordsAfter, result->recordsBefore);
+    EXPECT_LT(result->bytesAfter, result->bytesBefore);
+
+    // The rewritten file is a valid journal with the identical fold,
+    // and it still accepts appends.
+    std::vector<JournalRecord> compacted;
+    ASSERT_TRUE(readJournal(path, compacted));
+    EXPECT_EQ(compacted.size(), result->recordsAfter);
+    expectSameLedger(original, compacted);
+    {
+        std::vector<JournalRecord> replayed;
+        auto journal = Journal::open(path, replayed);
+        ASSERT_TRUE(journal.has_value());
+        EXPECT_EQ(replayed.size(), compacted.size());
+        EXPECT_TRUE(journal->append({"k", JobEvent::Submitted, 0, ""}));
+    }
+
+    // Already minimal: a second pass must not rewrite.
+    const auto again = compactJournalFile(path, &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_FALSE(again->rewritten);
+}
+
+TEST(JournalCompactionTest, MissingJournalIsANoOp)
+{
+    const std::string path = servePath("journal_compact_missing");
+    std::string error;
+    const auto result = compactJournalFile(path, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_FALSE(result->rewritten);
+    EXPECT_EQ(result->recordsBefore, 0u);
+}
+
+// -------------------------------------------------------------------
 // Job-file parsing
 // -------------------------------------------------------------------
 
@@ -329,6 +504,30 @@ job beta.2 { workload_spec w.wl arch_spec a.arch max_attempts 1 inject hang }
     EXPECT_EQ(file->jobs[1].archSpecPath, "a.arch");
     EXPECT_EQ(file->jobs[1].maxAttempts, 1);
     EXPECT_EQ(file->jobs[1].inject, JobInject::Hang);
+}
+
+TEST(JobSpecTest, ParsesMemLimitAndOomInjection)
+{
+    std::string error;
+    const auto file = parseJobFile(
+        "job big { workload Bert-S mem_limit_mb 512 inject oom }\n"
+        "job small { workload Bert-S }\n",
+        &error);
+    ASSERT_TRUE(file.has_value()) << error;
+    EXPECT_EQ(file->jobs[0].memLimitMb, 512);
+    EXPECT_EQ(file->jobs[0].inject, JobInject::Oom);
+    // Unset means unlimited: no rlimit, no budget arming.
+    EXPECT_EQ(file->jobs[1].memLimitMb, 0);
+    EXPECT_EQ(file->jobs[1].inject, JobInject::None);
+
+    error.clear();
+    EXPECT_FALSE(
+        parseJobFile("job a { mem_limit_mb -1 }", &error));
+    EXPECT_NE(error.find("mem_limit_mb"), std::string::npos) << error;
+
+    error.clear();
+    EXPECT_FALSE(parseJobFile("job a { inject fnord }", &error));
+    EXPECT_NE(error.find("oom"), std::string::npos) << error;
 }
 
 TEST(JobSpecTest, ErrorsCarryLineNumbers)
@@ -664,6 +863,73 @@ TEST_F(JobdTest, GracefulShutdownThenResumeCompletes)
     for (const auto& [id, entry] : ledger.jobs()) {
         EXPECT_EQ(entry.state, JobLedger::State::Succeeded) << id;
         EXPECT_EQ(entry.succeededRecords, 1) << id;
+    }
+}
+
+TEST_F(JobdTest, OomWorkerIsClassifiedResourceAndRetriedDegraded)
+{
+    // `inject oom` allocates ~2x the job's mem_limit_mb under a
+    // matching RLIMIT_AS, so the first attempts die with exit 13
+    // (resource); each retry runs one degrade rung further (halved
+    // threads, halved ballast/caps) until the attempt fits.
+    const std::string jobFile = writeJobFile(
+        "oom.jobs",
+        std::string("service { concurrency 2 max_attempts 4 "
+                    "backoff_base_ms 5 backoff_max_ms 20 grace_ms 500 "
+                    "poll_ms 5 }\n") +
+            "job big { workload Bert-S " + kTinyJob +
+            " seed 7 mem_limit_mb 512 inject oom }\n" +
+            "job fine { workload Bert-S " + kTinyJob + " seed 8 }\n");
+
+    EXPECT_EQ(runJobd(jobFile), 0);
+
+    const JobLedger ledger = replayLedger();
+    EXPECT_TRUE(ledger.allTerminal());
+    const auto* big = ledger.find("big");
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(big->state, JobLedger::State::Succeeded);
+    EXPECT_EQ(big->succeededRecords, 1);
+    // At least the full-size first attempt must have OOMed, and every
+    // consumed attempt is journaled with a resource-tagged reason.
+    EXPECT_GE(big->attemptsFailed, 1);
+    std::vector<JournalRecord> records;
+    ASSERT_TRUE(readJournal(journal_, records));
+    int resource_failures = 0;
+    for (const JournalRecord& rec : records)
+        if (rec.jobId == "big" && rec.event == JobEvent::AttemptFailed) {
+            EXPECT_EQ(rec.payload.rfind("resource", 0), 0u)
+                << rec.payload;
+            ++resource_failures;
+        }
+    EXPECT_GE(resource_failures, 1);
+
+    // The memory-starved neighbor never disturbed the healthy job.
+    const auto* fine = ledger.find("fine");
+    ASSERT_NE(fine, nullptr);
+    EXPECT_EQ(fine->state, JobLedger::State::Succeeded);
+    EXPECT_EQ(fine->attemptsFailed, 0);
+
+    // -- startup compaction e2e --------------------------------------
+    // The finished journal carries the retry history, so a restart
+    // compacts it (strictly smaller) without changing the fold; with
+    // --no-compact the file is left byte-for-byte alone.
+    const std::string before = slurp(journal_);
+    ASSERT_FALSE(before.empty());
+
+    EXPECT_EQ(runJobd(jobFile, "--no-compact"), 0);
+    EXPECT_EQ(slurp(journal_), before);
+
+    EXPECT_EQ(runJobd(jobFile), 0);
+    const std::string after = slurp(journal_);
+    EXPECT_LT(after.size(), before.size());
+    const JobLedger compacted = replayLedger();
+    EXPECT_TRUE(compacted.allTerminal());
+    for (const auto& [id, entry] : ledger.jobs()) {
+        const auto* other = compacted.find(id);
+        ASSERT_NE(other, nullptr) << id;
+        EXPECT_EQ(other->state, entry.state) << id;
+        EXPECT_EQ(other->succeededRecords, entry.succeededRecords) << id;
+        EXPECT_EQ(other->attemptsFailed, entry.attemptsFailed) << id;
     }
 }
 

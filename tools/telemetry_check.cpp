@@ -566,6 +566,53 @@ checkMetrics(const JsonValue& root)
               os.str());
     }
 
+    // Memory-budget identities (DESIGN.md §12). Cache byte gauges are
+    // maintained with size-pure estimates whose insert credits equal
+    // eviction debits exactly, so gauge == inserted - evicted at every
+    // instant, including after the per-search caches are destroyed
+    // (destruction credits the remainder as evicted).
+    struct ByteGauge
+    {
+        const char* gauge;
+        const char* inserted;
+        const char* evicted;
+    };
+    for (const ByteGauge b :
+         {ByteGauge{"evalcache.bytes", "evalcache.bytes_inserted",
+                    "evalcache.bytes_evicted"},
+          ByteGauge{"analysis.subtree_bytes",
+                    "analysis.subtree_bytes_inserted",
+                    "analysis.subtree_bytes_evicted"}}) {
+        const double g = numberOr(gauges->get(b.gauge), 0.0);
+        const double ins = numberOr(counters->get(b.inserted), 0.0);
+        const double ev = numberOr(counters->get(b.evicted), 0.0);
+        std::ostringstream os;
+        os << b.gauge << " (" << g << ") != " << b.inserted << " ("
+           << ins << ") - " << b.evicted << " (" << ev << ")";
+        check(g == ins - ev, os.str());
+    }
+    // An ok->hard jump counts both a soft and a hard event, so hard
+    // events can never outnumber soft ones; and every oom-failed
+    // evaluation is also a failed evaluation.
+    const double soft_events =
+        numberOr(counters->get("mem.pressure_soft_events"), 0.0);
+    const double hard_events =
+        numberOr(counters->get("mem.pressure_hard_events"), 0.0);
+    {
+        std::ostringstream os;
+        os << "mem.pressure_hard_events (" << hard_events
+           << ") > mem.pressure_soft_events (" << soft_events << ")";
+        check(hard_events <= soft_events, os.str());
+    }
+    const double oom_failed =
+        numberOr(counters->get("mem.oom_failed_evals"), 0.0);
+    {
+        std::ostringstream os;
+        os << "mem.oom_failed_evals (" << oom_failed
+           << ") > mapper.failed_evaluations (" << mapper_failed << ")";
+        check(oom_failed <= mapper_failed, os.str());
+    }
+
     std::printf("metrics OK: %zu counters, %zu gauges, %zu histograms; "
                 "registry totals match the search result\n",
                 counters->object.size(), gauges->object.size(),
@@ -604,7 +651,8 @@ checkServe(const JsonValue& root)
     for (const char* field :
          {"jobs", "already_terminal", "submitted", "shed",
           "attempts_started", "succeeded", "failed", "retries",
-          "crashes", "deadline_kills", "interrupted"}) {
+          "crashes", "deadline_kills", "interrupted",
+          "resource_failures"}) {
         check(result->get(field) && result->get(field)->isNumber(),
               std::string("result lacks numeric ") + field);
     }
@@ -633,6 +681,7 @@ checkServe(const JsonValue& root)
           Pair{"serve.crashes", "crashes"},
           Pair{"serve.deadline_kills", "deadline_kills"},
           Pair{"serve.interrupted", "interrupted"},
+          Pair{"serve.resource_failures", "resource_failures"},
           Pair{"serve.attempts_started", "attempts_started"}}) {
         const double reg = numberOr(counters->get(p.counter), 0.0);
         const double res = numberOr(result->get(p.field), -1.0);

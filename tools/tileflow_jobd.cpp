@@ -22,6 +22,8 @@
  *   --worker-exe PATH    worker binary (default: /proc/self/exe)
  *   --metrics-out FILE   service metrics + batch summary JSON
  *                        (validated by `telemetry_check serve`)
+ *   --no-compact         keep the full journal (skip the startup
+ *                        compaction that snapshots terminal state)
  *
  * Exit status: 0 when the batch ran to completion (every job
  * journaled succeeded or permanently failed — job failures are
@@ -63,9 +65,11 @@ usage()
         "           [--backoff-base-ms N] [--backoff-max-ms N]\n"
         "           [--retry-seed N] [--grace-ms N] [--poll-ms N]\n"
         "           [--worker-exe PATH] [--metrics-out FILE]\n"
+        "           [--no-compact]\n"
         "       tileflow_jobd --replay JOURNAL [--expect-complete]\n"
         "       tileflow_jobd --worker --job-file F --job-id ID\n"
-        "           --attempt N --workdir DIR --status-fd FD\n");
+        "           --attempt N --workdir DIR --status-fd FD\n"
+        "           [--degrade N]\n");
     return 2;
 }
 
@@ -109,6 +113,8 @@ writeServeMetrics(const std::string& path, const BatchSummary& summary)
     json +=
         ", \"deadline_kills\": " + std::to_string(summary.deadlineKills);
     json += ", \"interrupted\": " + std::to_string(summary.interrupted);
+    json += ", \"resource_failures\": " +
+            std::to_string(summary.resourceFailures);
     json += std::string(", \"shutdown\": ") +
             (summary.shutdownRequested ? "true" : "false");
     json += std::string(", \"complete\": ") +
@@ -177,6 +183,7 @@ workerMode(int argc, char** argv)
     std::string job_file, job_id, workdir;
     int attempt = 1;
     int status_fd = -1;
+    int degrade = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -197,6 +204,8 @@ workerMode(int argc, char** argv)
             workdir = value();
         else if (arg == "--status-fd")
             status_fd = std::atoi(value());
+        else if (arg == "--degrade")
+            degrade = std::atoi(value());
         else
             return usage();
     }
@@ -209,7 +218,8 @@ workerMode(int argc, char** argv)
         std::fprintf(stderr, "%s\n", error.c_str());
         return kWorkerExitPermanent;
     }
-    return runWorker(*file, job_id, attempt, workdir, status_fd);
+    return runWorker(*file, job_id, attempt, workdir, status_fd,
+                     degrade);
 }
 
 } // namespace
@@ -241,6 +251,7 @@ main(int argc, char** argv)
     };
     Override concurrency, queue_cap, max_attempts, backoff_base,
         backoff_max, retry_seed, grace, poll;
+    bool no_compact = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -280,6 +291,8 @@ main(int argc, char** argv)
             setOverride(grace);
         else if (arg == "--poll-ms")
             setOverride(poll);
+        else if (arg == "--no-compact")
+            no_compact = true;
         else if (!arg.empty() && arg[0] == '-')
             return usage();
         else if (job_path.empty())
@@ -318,6 +331,28 @@ main(int argc, char** argv)
         opts.workdir = job_path + ".work";
     ::mkdir(opts.workdir.c_str(), 0777); // EEXIST is fine
 
+    // Startup compaction: fold the accumulated journal down to a
+    // per-job snapshot of terminal state before the supervisor opens
+    // it. Safe here — nothing else has the file open yet — and purely
+    // an optimization: resume semantics are identical either way.
+    if (!no_compact) {
+        const std::string journal_path = opts.journalPath.empty()
+                                             ? job_path + ".journal"
+                                             : opts.journalPath;
+        std::string compact_error;
+        const auto compaction =
+            compactJournalFile(journal_path, &compact_error);
+        if (!compaction)
+            std::fprintf(stderr, "jobd: journal compaction failed: %s\n",
+                         compact_error.c_str());
+        else if (compaction->rewritten)
+            std::printf("journal compacted: %zu -> %zu records "
+                        "(%zu -> %zu bytes)\n",
+                        compaction->recordsBefore,
+                        compaction->recordsAfter,
+                        compaction->bytesBefore, compaction->bytesAfter);
+    }
+
     // First SIGINT/SIGTERM: graceful shutdown. Second: immediate.
     static CancellationToken shutdown;
     installStopSignalHandlers(&shutdown, true);
@@ -333,7 +368,8 @@ main(int argc, char** argv)
         "batch %s: %llu jobs (%llu already done), %llu submitted, "
         "%llu shed\n"
         "  attempts=%llu succeeded=%llu failed=%llu retries=%llu\n"
-        "  crashes=%llu deadline_kills=%llu interrupted=%llu\n",
+        "  crashes=%llu deadline_kills=%llu interrupted=%llu "
+        "resource_failures=%llu\n",
         summary->complete
             ? "complete"
             : (summary->shutdownRequested ? "interrupted (resumable)"
@@ -348,7 +384,8 @@ main(int argc, char** argv)
         (unsigned long long)summary->retriesScheduled,
         (unsigned long long)summary->crashes,
         (unsigned long long)summary->deadlineKills,
-        (unsigned long long)summary->interrupted);
+        (unsigned long long)summary->interrupted,
+        (unsigned long long)summary->resourceFailures);
 
     if (!metrics_path.empty()) {
         if (writeServeMetrics(metrics_path, *summary))
