@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tileflow::bench {
@@ -72,6 +73,67 @@ geomean(const std::vector<double>& values)
     }
     return n > 0 ? std::exp(log_sum / n) : 0.0;
 }
+
+/**
+ * Order-preserving flat JSON object writer, so a bench can emit its
+ * headline numbers as a machine-readable artifact (CI uploads them,
+ * e.g. BENCH_mapper.json) next to the human-readable table. Numbers
+ * are written with enough digits to round-trip; no nesting — benches
+ * use dotted keys ("Bert-S.speedup") instead.
+ */
+class JsonReport
+{
+  public:
+    void
+    number(const std::string& key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        fields_.emplace_back(key, buf);
+    }
+
+    void
+    text(const std::string& key, const std::string& value)
+    {
+        std::string quoted = "\"";
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                quoted += '\\';
+            quoted += c;
+        }
+        quoted += '"';
+        fields_.emplace_back(key, quoted);
+    }
+
+    std::string
+    str() const
+    {
+        std::string out = "{\n";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+            out += "  \"" + fields_[i].first +
+                   "\": " + fields_[i].second;
+            if (i + 1 < fields_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += "}\n";
+        return out;
+    }
+
+    bool
+    writeTo(const std::string& path) const
+    {
+        const std::string json = str();
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        if (!f)
+            return false;
+        const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+        return n == json.size() && std::fclose(f) == 0;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 } // namespace tileflow::bench
 

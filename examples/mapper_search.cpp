@@ -9,8 +9,8 @@
  *            [--time-budget-ms N] [--max-evals N] [--checkpoint PATH]
  *            [--arch FILE] [--workload FILE]
  *            [--trace-out FILE] [--metrics-out FILE] [--progress-ms N]
- *            [--no-incremental] [--subtree-cache-cap N]
- *            [--eval-cache-cap N]
+ *            [--no-incremental] [--no-bound-prune]
+ *            [--subtree-cache-cap N] [--eval-cache-cap N]
  *            [--mem-soft-mb N] [--mem-hard-mb N]
  *
  * Candidate evaluations run through the subtree-memoized incremental
@@ -19,6 +19,13 @@
  * --no-incremental selects the plain evaluator;
  * --subtree-cache-cap / --eval-cache-cap bound the per-shard entry
  * counts of the two caches (0 = unbounded).
+ *
+ * Candidates are branch-and-bound screened by default: an admissible
+ * lower bound (analysis/lowerbound.hpp) discards candidates that
+ * provably cannot beat the best-so-far without paying for the full
+ * analysis (counters mapper.bound_pruned / mapper.bound_evals, and
+ * the mapper.bound_tightness histogram, say how often and how
+ * tightly). --no-bound-prune disables the screen.
  *
  * --arch loads an architecture spec (see examples/specs/) instead of
  * the built-in Edge preset. --workload loads a workload spec instead
@@ -103,6 +110,7 @@ writeMetricsJson(const std::string& path, const MapperResult& result)
     json += MetricsRegistry::global().toJson();
     json += ",\n\"result\": {";
     json += "\"evaluations\": " + std::to_string(result.evaluations);
+    json += ", \"bound_pruned\": " + std::to_string(result.boundPruned);
     json += ", \"cache_hits\": " + std::to_string(result.cacheHits);
     json += ", \"cache_misses\": " + std::to_string(result.cacheMisses);
     json += ", \"failed_evaluations\": " +
@@ -170,6 +178,8 @@ main(int argc, char** argv)
             cfg.progressIntervalMs = std::atoll(value());
         } else if (arg == "--no-incremental") {
             cfg.incremental = false;
+        } else if (arg == "--no-bound-prune") {
+            cfg.boundPrune = false;
         } else if (arg == "--subtree-cache-cap") {
             cfg.subtreeCacheCap = size_t(std::atoll(value()));
         } else if (arg == "--eval-cache-cap") {

@@ -240,6 +240,19 @@ DataMovementAnalyzer::analyze(const AnalysisTree& tree) const
 DmNodePartial
 DataMovementAnalyzer::analyzeTile(const Node* node) const
 {
+    return tileImpl(node, /*compulsory_only=*/false);
+}
+
+DmNodePartial
+DataMovementAnalyzer::compulsoryTile(const Node* node) const
+{
+    return tileImpl(node, /*compulsory_only=*/true);
+}
+
+DmNodePartial
+DataMovementAnalyzer::tileImpl(const Node* node,
+                               bool compulsory_only) const
+{
     const StepGeometry geom(*workload_, node);
     const ChildGroup group = childGroupOf(node);
     const size_t num_children = group.children.size();
@@ -295,8 +308,13 @@ DataMovementAnalyzer::analyzeTile(const Node* node) const
             }
 
             // One boundary type per temporal loop; contributions
-            // arrive pre-weighted by the advance counts.
-            for (size_t k = 0; k < geom.temporalLoops().size(); ++k) {
+            // arrive pre-weighted by the advance counts. The
+            // compulsory-only mode skips this block entirely — the
+            // totals it returns must stay an in-order subsequence of
+            // the exact accumulation (see compulsoryTile).
+            for (size_t k = 0;
+                 !compulsory_only && k < geom.temporalLoops().size();
+                 ++k) {
                 if (geom.advances(k) == 0)
                     continue;
                 StepTraffic boundary(num_children);
@@ -433,6 +451,52 @@ DataMovementAnalyzer::analyze(const AnalysisTree& tree,
             auto& clvl = result.levels[size_t(child_level)];
             clvl.fillBytes += partial->childFill[j];
             clvl.readBytes += partial->childDrain[j];
+        }
+    }
+    return result;
+}
+
+DataMovementResult
+DataMovementAnalyzer::analyzeCompulsory(const AnalysisTree& tree) const
+{
+    DataMovementResult result;
+    result.levels.assign(size_t(spec_->numLevels()), LevelTraffic{});
+
+    if (!tree.hasRoot())
+        return result;
+
+    // Same traversal order and aggregation statements as analyze(),
+    // fed with compulsory-only partials: each per-node and per-level
+    // total is an fl-sum of an in-order subsequence of the exact
+    // sum's non-negative terms, hence bitwise <= it. Op counts are
+    // deliberately not computed — the bound's latency pass reads only
+    // perNode, and utilization (their one consumer) is discarded.
+    std::vector<const Node*> stack{tree.root()};
+    while (!stack.empty()) {
+        const Node* node = stack.back();
+        stack.pop_back();
+        for (const auto& child : node->children())
+            stack.push_back(child.get());
+        if (!node->isTile())
+            continue;
+
+        const DmNodePartial partial = compulsoryTile(node);
+
+        const double executions = double(executionCount(node));
+        result.perNode[node] =
+            NodeTraffic{partial.loadBytes / executions,
+                        partial.storeBytes / executions};
+
+        auto& lvl = result.levels[size_t(node->memLevel())];
+        lvl.readBytes += partial.loadBytes;
+        lvl.updateBytes += partial.storeBytes;
+        for (size_t j = 0; j < partial.childLevels.size(); ++j) {
+            const int child_level = partial.childLevels[j];
+            if (child_level < 0)
+                continue;
+            auto& clvl = result.levels[size_t(child_level)];
+            clvl.fillBytes += partial.childFill[j];
+            clvl.readBytes += partial.childDrain[j];
         }
     }
     return result;

@@ -135,7 +135,27 @@ class DataMovementAnalyzer
     /** Whole-run traffic of one Tile node (the per-node hot path). */
     DmNodePartial analyzeTile(const Node* node) const;
 
+    /**
+     * Compulsory-only traffic of one Tile node: the initial cold-start
+     * step of each pass plus the final write-back, skipping every
+     * per-loop boundary simulation (the revisit/eviction traffic).
+     * Every accumulated term is an in-order subsequence of
+     * analyzeTile's non-negative terms, so each byte total is bitwise
+     * <= the exact partial — the admissibility obligation of the
+     * lower-bound evaluator (analysis/lowerbound.hpp) rests on this.
+     */
+    DmNodePartial compulsoryTile(const Node* node) const;
+
+    /**
+     * Like analyze(tree) but aggregated from compulsoryTile partials:
+     * a per-node / per-level traffic lower bound. Op counts are left
+     * at zero — the lower bound's latency pass never reads them.
+     */
+    DataMovementResult analyzeCompulsory(const AnalysisTree& tree) const;
+
   private:
+    DmNodePartial tileImpl(const Node* node, bool compulsory_only) const;
+
     const Workload* workload_;
     const ArchSpec* spec_;
 };

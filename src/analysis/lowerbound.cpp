@@ -1,0 +1,102 @@
+#include "analysis/lowerbound.hpp"
+
+#include <algorithm>
+
+#include "analysis/childgroup.hpp"
+#include "analysis/datamovement.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/resource.hpp"
+#include "common/strings.hpp"
+#include "core/validate.hpp"
+
+namespace tileflow {
+
+bool
+LowerBoundEvaluator::capacityRejects(const AnalysisTree& tree,
+                                     std::string* reason) const
+{
+    if (!options_.enforceMemory || !tree.hasRoot())
+        return false;
+
+    const ResourceAnalyzer resource(*workload_, *spec_);
+
+    // Same walk, child-level attribution and reject condition as
+    // ResourceAnalyzer::analyze — only the per-tile footprint is the
+    // cheap lower bound. fp_lb <= fp_exact (both exact int64), so a
+    // reject here implies the full analyzer records the violation.
+    std::vector<const Node*> stack{tree.root()};
+    while (!stack.empty()) {
+        const Node* node = stack.back();
+        stack.pop_back();
+        for (const auto& child : node->children())
+            stack.push_back(child.get());
+        if (!node->isTile())
+            continue;
+
+        const int level = node->memLevel();
+        int child_level = -1;
+        for (const auto& child : node->children()) {
+            const int cl = subtreeLevel(child.get());
+            if (cl < level)
+                child_level = std::max(child_level, cl);
+        }
+        child_level = std::max(child_level, 0);
+
+        const MemLevel& mem = spec_->level(child_level);
+        if (mem.capacityBytes <= 0)
+            continue;
+        const int64_t fp = resource.tileStepFootprintLowerBound(node);
+        if (fp > mem.capacityBytes) {
+            if (reason) {
+                *reason = "step footprint lower bound " +
+                          humanCount(double(fp)) + "B at L" +
+                          std::to_string(child_level) +
+                          " exceeds capacity " +
+                          humanCount(double(mem.capacityBytes)) + "B";
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+LowerBound
+LowerBoundEvaluator::bound(const AnalysisTree& tree) const
+{
+    LowerBound lb;
+    if (!tree.hasRoot())
+        return lb;
+
+    if (options_.validate) {
+        for (const std::string& problem : validateTree(tree, spec_)) {
+            // A hard structural problem means the full evaluator
+            // rejects before any analysis; there is nothing sound to
+            // bound (and the analyzers below assume a sane tree).
+            if (!startsWith(problem, "warn:"))
+                return lb;
+        }
+    }
+    lb.analyzed = true;
+
+    if (capacityRejects(tree, &lb.capacityReason)) {
+        // A definitive full-evaluator verdict: no need to spend even
+        // the compulsory traffic pass on this candidate.
+        lb.capacityReject = true;
+        return lb;
+    }
+
+    // Compulsory traffic only, fed through the REAL latency model:
+    // per node, lat = max(child compute, lb_load + lb_store cycles)
+    // is monotone in the traffic under fl-arithmetic, so the result
+    // is bitwise <= the full model's cycles. The pure-compute pass
+    // (the roofline) reads no traffic and comes along for free.
+    const DataMovementAnalyzer dm(*workload_, *spec_);
+    const DataMovementResult compulsory = dm.analyzeCompulsory(tree);
+    const LatencyModel latency(*workload_, *spec_);
+    const LatencyResult lat = latency.analyze(tree, compulsory);
+    lb.cycles = lat.cycles;
+    lb.computeCycles = lat.computeCycles;
+    return lb;
+}
+
+} // namespace tileflow

@@ -108,7 +108,8 @@ usageOf(const Workload& workload, const Node* node)
  * tile's own level manage their own staging and are skipped.
  */
 int64_t
-stepFootprint(const Workload& workload, const Node* tile)
+stepFootprint(const Workload& workload, const Node* tile,
+              bool exact = true)
 {
     // At level 0 the tile's spatial loops are the PE array itself and
     // one register file serves all of it, so spatial spans count; at
@@ -180,8 +181,20 @@ stepFootprint(const Workload& workload, const Node* tile)
         }
         int64_t child_bytes = 0;
         for (const auto& [tensor, rects] : per_tensor) {
-            child_bytes += unionVolume(rects) *
-                           dataTypeBytes(workload.tensor(tensor).dtype);
+            // In exact mode, the union volume of the slices; the
+            // lower-bound mode takes the largest single slice instead
+            // (the union contains each slice, so this is an exact
+            // integer lower bound at O(rects) instead of the union's
+            // inclusion-exclusion cost).
+            int64_t volume = 0;
+            if (exact) {
+                volume = unionVolume(rects);
+            } else {
+                for (const HyperRect& rect : rects)
+                    volume = std::max(volume, rect.volume());
+            }
+            child_bytes +=
+                volume * dataTypeBytes(workload.tensor(tensor).dtype);
         }
         if (binding == ScopeKind::Seq && children.size() > 1)
             total = std::max(total, child_bytes);
@@ -205,6 +218,12 @@ int64_t
 ResourceAnalyzer::tileStepFootprint(const Node* tile) const
 {
     return stepFootprint(*workload_, tile);
+}
+
+int64_t
+ResourceAnalyzer::tileStepFootprintLowerBound(const Node* tile) const
+{
+    return stepFootprint(*workload_, tile, /*exact=*/false);
 }
 
 ResourceResult

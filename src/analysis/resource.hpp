@@ -96,6 +96,16 @@ class ResourceAnalyzer
     /** Step footprint of one Tile node (see Sec. 5.2). */
     int64_t tileStepFootprint(const Node* tile) const;
 
+    /**
+     * Exact integer lower bound on tileStepFootprint: per tensor, the
+     * largest single staged slice instead of the slice union — O(rects)
+     * instead of the union's inclusion-exclusion cost, with the same
+     * binding / boundary-crossing / child-skip rules. Feeds the
+     * capacity screen of analysis/lowerbound.hpp: a capacity exceeded
+     * by this bound is exceeded by the exact footprint too.
+     */
+    int64_t tileStepFootprintLowerBound(const Node* tile) const;
+
   private:
     const Workload* workload_;
     const ArchSpec* spec_;

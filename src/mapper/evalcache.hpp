@@ -54,6 +54,15 @@ struct CachedEval
 
     /** Why it failed (empty unless `failed`). */
     std::string failReason;
+
+    /**
+     * Screened out by the branch-and-bound lower bound before full
+     * evaluation (mapper/guard.hpp). Transient guard verdict only: a
+     * cost-prune depends on the caller's best-so-far threshold, which
+     * is not part of the cache key, so pruned entries are never
+     * inserted into the cache and never serialized.
+     */
+    bool pruned = false;
 };
 
 class EvalCache

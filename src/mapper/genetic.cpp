@@ -121,6 +121,16 @@ GeneticMapper::run()
 
     const std::vector<size_t> structural = space_->structuralKnobs();
 
+    // Admissible lower bounds for the offspring prescreen's capacity
+    // check and (when config_.boundPrune) the tuners' branch-and-bound
+    // screen; mirrors the evaluator's workload/spec/options.
+    const LowerBoundEvaluator lower_bound(*evaluator_);
+
+    // Declared before the lambdas that read it: `best` is only
+    // written serially at generation boundaries (and by the restore
+    // block), so the workers of a generation all see the same value.
+    Individual best;
+
     auto random_individual = [&]() {
         Individual ind;
         ind.choices = space_->defaultChoices();
@@ -131,9 +141,14 @@ GeneticMapper::run()
         return ind;
     };
 
-    // Cheap structural screen: builds the tree and runs validateTree
-    // only — no data-movement / latency analysis is paid. A throwing
-    // builder counts as a reject like any hard validation error.
+    // Cheap offspring screen: ONE tree build serves both checks —
+    // structural validateTree and the lower-bound capacity screen
+    // (which rejects only trees the full evaluator would reject for
+    // a buffer overflow; see analysis/lowerbound.hpp). No
+    // data-movement / latency analysis is paid. A throwing builder
+    // counts as a reject like any hard validation error. The
+    // capacity part is independent of config_.boundPrune so the
+    // prescreen trajectory is identical with pruning on or off.
     auto passes_prescreen = [&](const std::vector<int64_t>& choices) {
         try {
             const AnalysisTree tree = space_->build(choices);
@@ -142,7 +157,7 @@ GeneticMapper::run()
                 if (!startsWith(problem, "warn:"))
                     return false;
             }
-            return true;
+            return !lower_bound.capacityRejects(tree);
         } catch (const std::exception&) {
             return false;
         }
@@ -158,6 +173,17 @@ GeneticMapper::run()
         tuner.setCache(cache);
         tuner.setBatch(config_.mctsBatch);
         tuner.setStop(&stop, &global_evals);
+        if (config_.boundPrune) {
+            // The seed threshold is the generation-boundary best,
+            // read here on a worker but only ever written between
+            // generations (and by the restore block) — every tuner
+            // of a generation prunes against the same incumbent.
+            tuner.setBoundPrune(
+                &lower_bound,
+                best.valid
+                    ? best.cycles
+                    : std::numeric_limits<double>::infinity());
+        }
         MctsResult tuned =
             tuner.tune(ind.choices, config_.mctsSamplesPerIndividual);
         ind.valid = tuned.found;
@@ -170,7 +196,6 @@ GeneticMapper::run()
     // ---- Checkpoint plumbing -------------------------------------
     uint64_t config_hash = kCkptHashInit;
     int start_gen = 0;
-    Individual best;
 
     if (!config_.checkpointPath.empty()) {
         config_hash = ckptHash(config_hash, config_.seed);
@@ -218,6 +243,11 @@ GeneticMapper::run()
                 t = r->d();
             r->tag("evals");
             restored.evaluations = int(r->i64());
+            // Unconditional (0 when pruning is off): checkpoints
+            // interoperate across the boundPrune setting, which is
+            // deliberately NOT in the config hash.
+            r->tag("bpruned");
+            restored.boundPruned = r->u64();
             r->tag("elapsedms");
             const int64_t ckpt_elapsed_ms = r->i64();
             r->tag("cachedelta");
@@ -256,6 +286,14 @@ GeneticMapper::run()
                     .add(uint64_t(result.evaluations));
                 metrics.counter("evalcache.hits").add(restored_hits);
                 metrics.counter("evalcache.misses").add(restored_misses);
+                // Bound-prune credits keep the candidates identity
+                // (candidates == bound_pruned + evaluations) intact
+                // across kill/resume.
+                metrics.counter("mapper.bound_pruned")
+                    .add(result.boundPruned);
+                metrics.counter("mapper.candidates")
+                    .add(uint64_t(result.evaluations) +
+                         result.boundPruned);
             } else {
                 warn("ga checkpoint '", config_.checkpointPath,
                      "': truncated state; starting fresh");
@@ -290,6 +328,8 @@ GeneticMapper::run()
             w.d(t);
         w.tag("evals");
         w.i64(result.evaluations);
+        w.tag("bpruned");
+        w.u64(result.boundPruned);
         w.tag("elapsedms");
         w.i64(restored_elapsed_ms + msSince(run_start));
         w.tag("cachedelta");
@@ -310,6 +350,13 @@ GeneticMapper::run()
     if (population.empty()) {
         for (int i = 0; i < config_.populationSize; ++i)
             population.push_back(random_individual());
+        // A started run is immediately resumable: persist the initial
+        // population before any evaluation, so a budget that trips
+        // inside generation 0 (easy when bound pruning concentrates
+        // the full evaluations early) still leaves a checkpoint
+        // behind. Resume replays generation 0 in full — the same
+        // replay-the-degraded-generation contract as below.
+        save_checkpoint(start_gen);
     }
 
     const int64_t evals_at_start =
@@ -344,6 +391,7 @@ GeneticMapper::run()
         bool cut_short = false;
         for (const MctsResult& t : tuned) {
             result.evaluations += t.evaluations;
+            result.boundPruned += t.boundPruned;
             mergeHistogram(result.failureHistogram, t.failureHistogram);
             cut_short = cut_short || t.timedOut;
         }

@@ -20,9 +20,10 @@
  * guarded boundary (mapper/guard.hpp), so a throwing or NaN-poisoned
  * candidate becomes an invalid individual with its reason counted in
  * `GeneticResult.failureHistogram` — never an aborted search. Fresh
- * offspring are pre-screened with validateTree before paying for a
- * full MCTS pass; structural rejects are resampled and counted
- * separately in `prescreenRejects`. Wall-clock / evaluation budgets
+ * offspring are pre-screened (one tree build: validateTree plus the
+ * lower-bound capacity screen) before paying for a full MCTS pass;
+ * rejects are resampled and counted separately in
+ * `prescreenRejects`. Wall-clock / evaluation budgets
  * and external cancellation are polled at generation boundaries (and,
  * via the shared StopControl, at each tuner's batch boundaries);
  * tripping them returns best-so-far with `timedOut` set. With
@@ -87,8 +88,22 @@ struct GeneticConfig
     int checkpointEveryGens = 1;
 
     /** Pre-screen offspring with validateTree (cheap structural
-     *  checks) before paying full evaluation. */
+     *  checks) and the lower-bound capacity screen before paying full
+     *  evaluation. */
     bool prescreen = true;
+
+    /**
+     * Branch-and-bound screening in the per-individual tuners (see
+     * MctsTuner::setBoundPrune): candidates whose admissible lower
+     * bound cannot beat the generation-boundary best are discarded
+     * without full evaluation. Like `incremental`, deliberately NOT
+     * part of the checkpoint config hash: checkpoints written with
+     * either setting interoperate — but unlike `incremental` the
+     * flag IS part of the search trajectory, so flipping it across a
+     * kill/resume continues the run under the new setting rather
+     * than replaying the old one.
+     */
+    bool boundPrune = true;
 
     /** Resample attempts per offspring slot when pre-screening
      *  rejects a candidate; the last attempt is kept regardless. */
@@ -121,6 +136,11 @@ struct GeneticResult
 
     /** Actual Evaluator::evaluate invocations (cache hits excluded). */
     int evaluations = 0;
+
+    /** Candidates discarded by the branch-and-bound lower bound —
+     *  never fully evaluated, never counted in `evaluations`
+     *  (checkpoint-aware, like `evaluations`). */
+    uint64_t boundPruned = 0;
 
     /** EvalCache counters for the run (checkpoint-aware: include the
      *  pre-kill portion of a resumed run). */

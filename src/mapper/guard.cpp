@@ -15,35 +15,93 @@ namespace {
 template <typename EvaluatorT>
 CachedEval
 guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
-                    const std::vector<int64_t>& choices)
+                    const std::vector<int64_t>& choices,
+                    const BoundPrune* prune)
 {
     // The single chokepoint every real (non-memoized) search
-    // evaluation passes through, in both the GA and MCTS paths — so
-    // this counter, plus the restored-portion credit the engines add
-    // on checkpoint resume, always equals MapperResult::evaluations.
+    // evaluation passes through, in both the GA and MCTS paths.
+    // Accounting invariant (telemetry_check enforces it):
+    //   mapper.candidates == mapper.bound_pruned + mapper.evaluations
+    // — every candidate either prunes on the lower bound or pays a
+    // full evaluation; `mapper.evaluations`, plus the restored-portion
+    // credit the engines add on checkpoint resume, always equals
+    // MapperResult::evaluations.
+    static Counter& candidates =
+        MetricsRegistry::global().counter("mapper.candidates");
     static Counter& evals =
         MetricsRegistry::global().counter("mapper.evaluations");
     static Counter& failed =
         MetricsRegistry::global().counter("mapper.failed_evaluations");
     static Counter& oomFailed =
         MetricsRegistry::global().counter("mem.oom_failed_evals");
-    evals.add();
+    static Counter& boundEvals =
+        MetricsRegistry::global().counter("mapper.bound_evals");
+    static Counter& boundPruned =
+        MetricsRegistry::global().counter("mapper.bound_pruned");
+    // Bound/actual ratio in percent per fully evaluated valid
+    // candidate: 100 means the bound was exact, small values mean it
+    // was loose. Tightness telemetry only — no invariant beyond
+    // histogram well-formedness depends on it.
+    static Histogram& tightness =
+        MetricsRegistry::global().histogram("mapper.bound_tightness");
+    candidates.add();
 
     CachedEval out;
     // Hard memory pressure sheds the evaluation before it allocates
     // anything: the candidate is reported as a tagged-infeasible
     // "oom" failure (never an abort), the budget's reclaim has
     // already flushed the caches, and the search carries on. The
-    // poll is one relaxed load when no budget is configured.
+    // poll is one relaxed load when no budget is configured. A shed
+    // counts as a (failed) evaluation, exactly as before pruning
+    // existed.
     if (MemoryBudget::global().poll() == MemPressure::Hard) {
         out.failed = true;
         out.failReason = "oom";
         oomFailed.add();
+        evals.add();
         failed.add();
         return out;
     }
+    // A candidate that reaches (or throws before reaching) the full
+    // evaluator counts as an evaluation, pruned ones never do.
+    bool counted_eval = false;
     try {
+        // One build serves both the bound screen and the full
+        // evaluation (the screen must not double the tree-build cost
+        // it is trying to save).
         const AnalysisTree tree = space.build(choices);
+
+        double lb_cycles = 0.0;
+        bool have_bound = false;
+        if (prune != nullptr && prune->bound != nullptr) {
+            // A failing bound computation is never a verdict: fall
+            // through and let the full evaluator classify the
+            // candidate.
+            try {
+                const LowerBound lb = prune->bound->bound(tree);
+                if (lb.analyzed) {
+                    have_bound = true;
+                    lb_cycles = lb.cycles;
+                    boundEvals.add();
+                    if (lb.capacityReject ||
+                        lb.cycles >= prune->bestCycles) {
+                        // Sound to discard: either the full evaluator
+                        // provably rejects this tree for capacity, or
+                        // its cycles provably cannot beat the
+                        // caller's best. Not an evaluation, not
+                        // cacheable (the verdict depends on
+                        // `bestCycles`).
+                        out.pruned = true;
+                        boundPruned.add();
+                        return out;
+                    }
+                }
+            } catch (const std::exception&) {
+            }
+        }
+
+        counted_eval = true;
+        evals.add();
         const EvalResult full = evaluator.evaluate(tree);
         if (full.valid &&
             !(std::isfinite(full.cycles) && full.cycles > 0.0)) {
@@ -52,6 +110,10 @@ guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
         } else {
             out.valid = full.valid;
             out.cycles = full.cycles;
+            if (have_bound && full.valid && full.cycles > 0.0) {
+                tightness.observe(
+                    uint64_t(100.0 * lb_cycles / full.cycles));
+            }
         }
     } catch (const FatalError& e) {
         out.failed = true;
@@ -68,8 +130,14 @@ guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
         out.failed = true;
         out.failReason = concat("unexpected exception: ", e.what());
     }
-    if (out.failed)
+    if (out.failed) {
+        // A throwing tree build never reached the evals.add() above;
+        // it still counts as a (failed) evaluation so the candidates
+        // identity holds on every path.
+        if (!counted_eval)
+            evals.add();
         failed.add();
+    }
     return out;
 }
 
@@ -77,17 +145,19 @@ guardedEvaluateImpl(const EvaluatorT& evaluator, const MappingSpace& space,
 
 CachedEval
 guardedEvaluate(const Evaluator& evaluator, const MappingSpace& space,
-                const std::vector<int64_t>& choices)
+                const std::vector<int64_t>& choices,
+                const BoundPrune* prune)
 {
-    return guardedEvaluateImpl(evaluator, space, choices);
+    return guardedEvaluateImpl(evaluator, space, choices, prune);
 }
 
 CachedEval
 guardedEvaluate(const IncrementalEvaluator& evaluator,
                 const MappingSpace& space,
-                const std::vector<int64_t>& choices)
+                const std::vector<int64_t>& choices,
+                const BoundPrune* prune)
 {
-    return guardedEvaluateImpl(evaluator, space, choices);
+    return guardedEvaluateImpl(evaluator, space, choices, prune);
 }
 
 void

@@ -22,12 +22,14 @@
 #define TILEFLOW_MAPPER_GUARD_HPP
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/evaluator.hpp"
 #include "analysis/incremental.hpp"
+#include "analysis/lowerbound.hpp"
 #include "mapper/encoding.hpp"
 #include "mapper/evalcache.hpp"
 
@@ -37,20 +39,46 @@ namespace tileflow {
 using FailureHistogram = std::map<std::string, uint64_t>;
 
 /**
+ * Branch-and-bound context for guardedEvaluate's bound-first path.
+ * When passed (non-null, with a non-null evaluator), the candidate's
+ * tree is built once and lower-bounded before full evaluation: a
+ * capacity-screen reject, or a bound already >= `bestCycles`, returns
+ * a CachedEval with `pruned` set — never fully evaluated, never
+ * counted in `mapper.evaluations`, and (because the verdict depends
+ * on the caller's threshold) never to be inserted into an EvalCache.
+ *
+ * Caller contract: `bound` must be constructed from the same
+ * workload/spec/options as the evaluator it screens for, and
+ * `bestCycles` must be a cycle count some fully evaluated valid
+ * mapping actually achieved (or +inf before one exists — the
+ * capacity screen still applies then).
+ */
+struct BoundPrune
+{
+    const LowerBoundEvaluator* bound = nullptr;
+
+    /** Prune when the candidate's lower-bound cycles reach this. */
+    double bestCycles = std::numeric_limits<double>::infinity();
+};
+
+/**
  * Build and evaluate `choices`, converting every throw and every
  * non-finite "valid" result into a tagged infeasible CachedEval.
- * Never throws (panic/abort excepted).
+ * Never throws (panic/abort excepted). `prune` (nullable) arms the
+ * bound-first branch-and-bound screen described above.
  */
 CachedEval guardedEvaluate(const Evaluator& evaluator,
                            const MappingSpace& space,
-                           const std::vector<int64_t>& choices);
+                           const std::vector<int64_t>& choices,
+                           const BoundPrune* prune = nullptr);
 
 /** Same guard around the subtree-memoized evaluation path. The two
  *  paths are bit-identical, so which one a search uses never changes
  *  its outcome — only its throughput. */
 CachedEval guardedEvaluate(const IncrementalEvaluator& evaluator,
                            const MappingSpace& space,
-                           const std::vector<int64_t>& choices);
+                           const std::vector<int64_t>& choices,
+                           const BoundPrune* prune = nullptr);
 
 /** Merge `from` into `into` (histogram accumulation). */
 void mergeHistogram(FailureHistogram& into, const FailureHistogram& from);

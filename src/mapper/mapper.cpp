@@ -21,6 +21,7 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     ga.checkpointPath = config.checkpointPath;
     ga.checkpointEveryGens = config.checkpointEveryRounds;
     ga.progressIntervalMs = config.progressIntervalMs;
+    ga.boundPrune = config.boundPrune;
 
     ThreadPool pool(config.threads > 0 ? size_t(config.threads) : 0);
     EvalCache cache(16, config.evalCacheCap, config.evalCacheBytesCap);
@@ -36,6 +37,7 @@ exploreSpace(const Evaluator& evaluator, const MappingSpace& space,
     MapperResult result(evaluator.workload());
     result.trace = ga_result.trace;
     result.evaluations = ga_result.evaluations;
+    result.boundPruned = ga_result.boundPruned;
     result.cacheHits = ga_result.cacheHits;
     result.cacheMisses = ga_result.cacheMisses;
     result.timedOut = ga_result.timedOut;
@@ -68,9 +70,13 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
     const StopControl stop(Deadline::afterMs(config.timeBudgetMs),
                            config.cancel, config.maxEvaluations);
 
+    const LowerBoundEvaluator lower_bound(evaluator);
+
     MctsTuner tuner(evaluator, space, rng);
     if (config.incremental)
         tuner.setIncremental(&incremental);
+    if (config.boundPrune)
+        tuner.setBoundPrune(&lower_bound);
     tuner.setPool(&pool);
     tuner.setCache(&cache);
     tuner.setBatch(config.mctsBatch);
@@ -88,6 +94,7 @@ exploreTiling(const Evaluator& evaluator, const MappingSpace& space,
     // and the no-factor-knob early path (one evaluation) both made the
     // old `= samples` accounting a lie.
     result.evaluations = tuned.evaluations;
+    result.boundPruned = tuned.boundPruned;
     result.cacheHits = tuned.cacheHits;
     result.cacheMisses = tuned.cacheMisses;
     result.timedOut = tuned.timedOut;

@@ -94,6 +94,19 @@ struct MapperConfig
      */
     bool incremental = true;
 
+    /**
+     * Branch-and-bound candidate screening (analysis/lowerbound.hpp):
+     * every sampled candidate is lower-bounded first, and one that
+     * provably cannot beat the best-so-far — or provably overflows a
+     * buffer — is pruned without full evaluation (counted in
+     * `MapperResult::boundPruned`, never in `evaluations`). Like
+     * `incremental`, deliberately NOT part of the checkpoint config
+     * hash, so checkpoints interoperate across the setting; unlike
+     * `incremental`, pruning IS part of the search trajectory (pruned
+     * samples feed a 0 reward back into the search).
+     */
+    bool boundPrune = true;
+
     /** SubtreeCache per-shard entry cap (0 = unbounded); see
      *  analysis/subtreecache.hpp. */
     size_t subtreeCacheCap = 4096;
@@ -125,6 +138,10 @@ struct MapperResult
     /** Actual Evaluator::evaluate invocations (== cache misses that
      *  reached the evaluator; repeated samples are memoized). */
     int evaluations = 0;
+
+    /** Candidates discarded by the branch-and-bound lower bound —
+     *  never fully evaluated, never counted in `evaluations`. */
+    uint64_t boundPruned = 0;
 
     /** EvalCache counters for this exploration (a resumed run
      *  includes the pre-kill portion). */

@@ -124,7 +124,12 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
 
     if (factor_idx.empty()) {
         // Nothing to tune: evaluate the base directly (once — not
-        // `samples` times, which the old accounting pretended).
+        // `samples` times, which the old accounting pretended). The
+        // bound screen is deliberately not applied to this single
+        // evaluation: pruning it would save one analysis but lose
+        // the candidate's actual cycles (and with it `found`), so
+        // the no-factor path behaves identically with pruning on or
+        // off.
         CachedEval eval;
         const std::optional<CachedEval> cached =
             cache_ ? cache_->lookup(base) : std::nullopt;
@@ -211,6 +216,11 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 t = r->d();
             r->tag("evals");
             restored.evaluations = int(r->i64());
+            // Written unconditionally (0 when pruning is off), so
+            // checkpoints interoperate across the boundPrune setting
+            // — which is deliberately NOT in the config hash.
+            r->tag("bpruned");
+            restored.boundPruned = r->u64();
             r->tag("elapsedms");
             const int64_t ckpt_elapsed_ms = r->i64();
             r->tag("cachedelta");
@@ -255,6 +265,14 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                     .add(uint64_t(result.evaluations));
                 metrics.counter("evalcache.hits").add(restored_hits);
                 metrics.counter("evalcache.misses").add(restored_misses);
+                // Bound-prune credits keep the candidates identity
+                // (candidates == bound_pruned + evaluations) intact
+                // across kill/resume.
+                metrics.counter("mapper.bound_pruned")
+                    .add(result.boundPruned);
+                metrics.counter("mapper.candidates")
+                    .add(uint64_t(result.evaluations) +
+                         result.boundPruned);
             } else {
                 warn("mcts checkpoint '", ckptPath_,
                      "': truncated state; starting fresh");
@@ -295,6 +313,8 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
             w.d(t);
         w.tag("evals");
         w.i64(result.evaluations);
+        w.tag("bpruned");
+        w.u64(result.boundPruned);
         w.tag("elapsedms");
         w.i64(restored_elapsed_ms + msSince(run_start));
         w.tag("cachedelta");
@@ -420,6 +440,14 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
                 to_evaluate.push_back(k);
         }
 
+        // Branch-and-bound threshold for this batch, captured here on
+        // the serial thread: `best` only changes in serial backprop,
+        // so every worker sees the same threshold and the trajectory
+        // is independent of the pool size.
+        const BoundPrune batch_prune{
+            boundLb_, std::min(best, boundSeed_)};
+        const BoundPrune* prune = boundLb_ ? &batch_prune : nullptr;
+
         // The guarded boundary: throwing / NaN-poisoned evaluations
         // become tagged infeasible verdicts instead of killing the
         // search (see mapper/guard.hpp).
@@ -428,9 +456,9 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
             sample.eval =
                 incremental_
                     ? guardedEvaluate(*incremental_, *space_,
-                                      sample.choices)
+                                      sample.choices, prune)
                     : guardedEvaluate(*evaluator_, *space_,
-                                      sample.choices);
+                                      sample.choices, prune);
         };
         if (pool_ && to_evaluate.size() > 1) {
             pool_->parallelFor(to_evaluate.size(), evaluate_one);
@@ -438,14 +466,24 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
             for (size_t i = 0; i < to_evaluate.size(); ++i)
                 evaluate_one(i);
         }
-        result.evaluations += int(to_evaluate.size());
-        if (globalEvals_) {
-            globalEvals_->fetch_add(int64_t(to_evaluate.size()),
-                                    std::memory_order_relaxed);
-        }
+        // Pruned candidates are not evaluations: they must not charge
+        // the evaluation budget, and their verdict depends on this
+        // batch's threshold, so they must not enter the cache either
+        // (a later batch with a different best may decide otherwise).
+        int evaluated = 0;
         for (size_t k : to_evaluate) {
+            if (pending[k].eval.pruned) {
+                result.boundPruned += 1;
+                continue;
+            }
+            evaluated += 1;
             if (cache_)
                 cache_->insert(pending[k].choices, pending[k].eval);
+        }
+        result.evaluations += evaluated;
+        if (globalEvals_) {
+            globalEvals_->fetch_add(int64_t(evaluated),
+                                    std::memory_order_relaxed);
         }
         for (size_t k = 0; k < pending.size(); ++k) {
             if (copy_from[k] >= 0)
@@ -454,6 +492,8 @@ MctsTuner::tune(const std::vector<int64_t>& base, int samples)
 
         // Backpropagate serially in sample order; visits were already
         // added at selection time, so only rewards accumulate here.
+        // Pruned samples take the same reward-0 path as infeasible
+        // ones: the bound proved they cannot beat the current best.
         for (PendingSample& sample : pending) {
             double reward = 0.0;
             if (sample.eval.failed) {

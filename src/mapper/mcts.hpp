@@ -37,8 +37,11 @@
 #define TILEFLOW_MAPPER_MCTS_HPP
 
 #include <atomic>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "analysis/lowerbound.hpp"
 
 #include "analysis/evaluator.hpp"
 #include "common/rng.hpp"
@@ -73,6 +76,11 @@ struct MctsResult
 
     /** Actual Evaluator::evaluate invocations (cache hits excluded). */
     int evaluations = 0;
+
+    /** Candidates discarded by the branch-and-bound lower bound —
+     *  never fully evaluated, never cached, never counted in
+     *  `evaluations` (checkpoint-aware, like `evaluations`). */
+    uint64_t boundPruned = 0;
 
     /** EvalCache hits/misses charged to this run (checkpoint-aware:
      *  includes the pre-kill portion of a resumed run). */
@@ -125,6 +133,31 @@ class MctsTuner
     void setIncremental(const IncrementalEvaluator* incremental)
     {
         incremental_ = incremental;
+    }
+
+    /**
+     * Arm branch-and-bound screening (nullptr disables): every
+     * rollout is lower-bounded before full evaluation, and a
+     * candidate that provably cannot beat the best-so-far — or that
+     * provably overflows a buffer — is recorded as pruned (reward 0,
+     * counted in `MctsResult.boundPruned`) without ever paying for
+     * the full analysis. The prune threshold is min(`seed_best`, this
+     * run's own best-so-far), re-captured at each batch boundary on
+     * the serial thread, so the trajectory stays bit-identical across
+     * thread counts (the GA seeds `seed_best` with its
+     * generation-boundary best). Unlike `setIncremental`, pruning IS
+     * part of the search trajectory: pruned samples backpropagate a 0
+     * reward where a full evaluation would have scored them.
+     * `bound` must mirror the evaluator's workload/spec/options and
+     * outlive tune().
+     */
+    void
+    setBoundPrune(const LowerBoundEvaluator* bound,
+                  double seed_best =
+                      std::numeric_limits<double>::infinity())
+    {
+        boundLb_ = bound;
+        boundSeed_ = seed_best;
     }
 
     /** Leaves selected (under virtual loss) per evaluation batch. The
@@ -185,6 +218,8 @@ class MctsTuner
     ThreadPool* pool_ = nullptr;
     EvalCache* cache_ = nullptr;
     const IncrementalEvaluator* incremental_ = nullptr;
+    const LowerBoundEvaluator* boundLb_ = nullptr;
+    double boundSeed_ = std::numeric_limits<double>::infinity();
     int batch_ = 1;
     const StopControl* stop_ = nullptr;
     std::atomic<int64_t>* globalEvals_ = nullptr;

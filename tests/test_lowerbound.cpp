@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Branch-and-bound lower-bound tests (analysis/lowerbound.hpp).
+ *
+ * The core soundness property: for every candidate across all oracle
+ * fuzz families, LowerBoundEvaluator::bound(tree).cycles <= the full
+ * evaluator's cycles (compared as exact doubles — the bound is
+ * admissible bitwise, not just mathematically), against both the plain
+ * and the incremental evaluation paths; and the capacity screen only
+ * ever rejects trees the full evaluator also rejects. Plus the search
+ * integration: prune-on and prune-off searches find equal-cost best
+ * mappings (GA and MCTS), kill/resume with pruning stays
+ * bit-identical, the guard's candidate accounting partitions exactly
+ * into pruned + evaluated, and pruned verdicts are never cached.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/incremental.hpp"
+#include "analysis/lowerbound.hpp"
+#include "arch/presets.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry.hpp"
+#include "dataflows/attention.hpp"
+#include "ir/builders.hpp"
+#include "ir/shapes.hpp"
+#include "mapper/mapper.hpp"
+#include "oracle/fuzz.hpp"
+
+namespace tileflow {
+namespace {
+
+const ArchSpec&
+fuzzSpec()
+{
+    static const ArchSpec spec = makeValidationArch();
+    return spec;
+}
+
+void
+collectNodes(Node* node, std::vector<Node*>& scopes,
+             std::vector<Node*>& tiles)
+{
+    if (node->isScope())
+        scopes.push_back(node);
+    if (node->isTile() && !node->loops().empty())
+        tiles.push_back(node);
+    for (const auto& child : node->children())
+        collectNodes(child.get(), scopes, tiles);
+}
+
+/** Single-knob mutation, mirroring the GA / MCTS moves (and the
+ *  incremental-evaluation test): scope-kind flip, loop-kind flip, or
+ *  loop-extent change. Invalid mutants are kept — the bound must stay
+ *  sound (or decline to analyze) on those too. */
+bool
+mutateOneKnob(Rng& rng, AnalysisTree& tree)
+{
+    if (!tree.hasRoot())
+        return false;
+    std::vector<Node*> scopes;
+    std::vector<Node*> tiles;
+    collectNodes(tree.root(), scopes, tiles);
+
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const int64_t pick = rng.uniformInt(0, 3);
+        if (pick <= 1 && !scopes.empty()) {
+            Node* scope = scopes[rng.index(scopes.size())];
+            static const ScopeKind kKinds[] = {
+                ScopeKind::Seq, ScopeKind::Shar, ScopeKind::Para,
+                ScopeKind::Pipe};
+            const ScopeKind next = kKinds[rng.index(4)];
+            if (next == scope->scopeKind())
+                continue;
+            scope->setScopeKind(next);
+            return true;
+        }
+        if (pick == 2 && !tiles.empty()) {
+            Node* tile = tiles[rng.index(tiles.size())];
+            Loop& loop = tile->loops()[rng.index(tile->loops().size())];
+            loop.kind = loop.isTemporal() ? LoopKind::Spatial
+                                          : LoopKind::Temporal;
+            return true;
+        }
+        if (!tiles.empty()) {
+            Node* tile = tiles[rng.index(tiles.size())];
+            Loop& loop = tile->loops()[rng.index(tile->loops().size())];
+            const int64_t next = rng.uniformInt(1, 4);
+            if (next == loop.extent)
+                continue;
+            loop.extent = next;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+// -------------------------------------------------------------------
+// The tentpole property: admissibility on every fuzz candidate
+// -------------------------------------------------------------------
+
+TEST(LowerBound, AdmissibleOnEveryFuzzCandidate)
+{
+    Rng rng(0xB0B0u);
+    std::set<int> families_seen;
+    int candidates = 0;
+    int valid_full = 0;
+    int capacity_rejects = 0;
+
+    for (uint64_t index = 0; index < 60; ++index) {
+        FuzzCase fc = makeFuzzCase(0x10BBu, index);
+        families_seen.insert(fc.kind);
+
+        const Evaluator full(*fc.workload, fuzzSpec());
+        SubtreeCache cache;
+        const IncrementalEvaluator inc(full, cache);
+        const LowerBoundEvaluator lbe(full);
+
+        // Warm candidate plus 9 single-knob mutants: 600 total.
+        for (int m = 0; m < 10; ++m) {
+            if (m > 0 && !mutateOneKnob(rng, *fc.tree))
+                break;
+            ++candidates;
+            const LowerBound lb = lbe.bound(*fc.tree);
+            const EvalResult a = full.evaluate(*fc.tree);
+            const EvalResult b = inc.evaluate(*fc.tree);
+
+            if (lb.capacityReject) {
+                // The screen's contract: a reject is a full-evaluator
+                // verdict, never a false positive.
+                ++capacity_rejects;
+                EXPECT_FALSE(a.valid)
+                    << "capacity screen rejected a tree the full "
+                       "evaluator accepts: case "
+                    << index << " mutation " << m << " ("
+                    << lb.capacityReason << ") " << fc.summary;
+                continue;
+            }
+            if (!a.valid)
+                continue; // full evaluator classifies; nothing to bound
+            ++valid_full;
+            ASSERT_TRUE(lb.analyzed)
+                << "bound declined a tree the full evaluator accepts: "
+                << fc.summary;
+            EXPECT_LE(lb.cycles, a.cycles)
+                << "bound above full cycles: case " << index
+                << " mutation " << m << " (" << fc.summary << ")";
+            EXPECT_LE(lb.cycles, b.cycles)
+                << "bound above incremental cycles: case " << index
+                << " mutation " << m << " (" << fc.summary << ")";
+            EXPECT_LE(lb.computeCycles, lb.cycles);
+            EXPECT_GE(lb.cycles, 0.0);
+            EXPECT_TRUE(std::isfinite(lb.cycles));
+        }
+    }
+
+    EXPECT_GE(candidates, 500);
+    EXPECT_GT(valid_full, 0);
+    EXPECT_EQ(families_seen.size(), 7u)
+        << "fuzz stream did not cover every generator family";
+    // makeFuzzCase keeps its trees capacity-feasible by construction,
+    // so rejects here are rare; the starved-arch test below guarantees
+    // the screen fires.
+    (void)capacity_rejects;
+}
+
+TEST(LowerBound, CapacityScreenAgreesWithFullEvaluatorWhenStarved)
+{
+    // Starve every on-chip buffer to one byte: the screen must now
+    // fire, and every firing must agree with the full evaluator.
+    ArchSpec starved = makeValidationArch();
+    for (size_t i = 0; i + 1 < starved.levels().size(); ++i)
+        starved.levels()[i].capacityBytes = 1;
+
+    int rejects = 0;
+    for (uint64_t index = 0; index < 20; ++index) {
+        const FuzzCase fc = makeFuzzCase(0xCAFEu, index);
+        const Evaluator full(*fc.workload, starved);
+        const LowerBoundEvaluator lbe(full);
+        std::string reason;
+        if (lbe.capacityRejects(*fc.tree, &reason)) {
+            ++rejects;
+            EXPECT_FALSE(reason.empty());
+            EXPECT_FALSE(full.evaluate(*fc.tree).valid)
+                << fc.summary << " (" << reason << ")";
+        }
+    }
+    EXPECT_GT(rejects, 0)
+        << "capacity screen never fired on a one-byte arch";
+}
+
+TEST(LowerBound, ScreenNeverFiresWhenMemoryUnenforced)
+{
+    ArchSpec starved = makeValidationArch();
+    for (size_t i = 0; i + 1 < starved.levels().size(); ++i)
+        starved.levels()[i].capacityBytes = 1;
+    EvalOptions no_memory;
+    no_memory.enforceMemory = false;
+
+    for (uint64_t index = 0; index < 5; ++index) {
+        const FuzzCase fc = makeFuzzCase(0xCAFEu, index);
+        const LowerBoundEvaluator lbe(*fc.workload, starved, no_memory);
+        EXPECT_FALSE(lbe.capacityRejects(*fc.tree));
+        // And the traffic bound still stands against that evaluator.
+        const Evaluator full(*fc.workload, starved, no_memory);
+        const EvalResult r = full.evaluate(*fc.tree);
+        const LowerBound lb = lbe.bound(*fc.tree);
+        if (r.valid && lb.analyzed)
+            EXPECT_LE(lb.cycles, r.cycles) << fc.summary;
+    }
+}
+
+TEST(LowerBound, DegenerateTrees)
+{
+    const FuzzCase fc = makeFuzzCase(0x1u, 0);
+    const LowerBoundEvaluator lbe(*fc.workload, fuzzSpec());
+
+    // Empty tree: nothing to analyze, nothing to reject.
+    const AnalysisTree empty(*fc.workload);
+    const LowerBound lb = lbe.bound(empty);
+    EXPECT_FALSE(lb.analyzed);
+    EXPECT_FALSE(lb.capacityReject);
+    EXPECT_EQ(lb.cycles, 0.0);
+    EXPECT_FALSE(lbe.capacityRejects(empty));
+}
+
+// -------------------------------------------------------------------
+// Guard integration: the bound-first path
+// -------------------------------------------------------------------
+
+TEST(LowerBound, GuardPrunesAgainstAnUnbeatableThreshold)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+    const LowerBoundEvaluator lbe(model);
+
+    // Unpruned baseline: the default choices evaluate fully.
+    const CachedEval plain =
+        guardedEvaluate(model, space, space.defaultChoices());
+    EXPECT_FALSE(plain.pruned);
+
+    // A threshold no candidate can beat: every analyzable candidate
+    // is discarded on its bound alone — no full evaluation, no
+    // failure classification, and a verdict callers must not cache.
+    const BoundPrune prune{&lbe, 1e-9};
+    const CachedEval pruned =
+        guardedEvaluate(model, space, space.defaultChoices(), &prune);
+    EXPECT_TRUE(pruned.pruned);
+    EXPECT_FALSE(pruned.valid);
+    EXPECT_FALSE(pruned.failed);
+
+    // +inf threshold: only the capacity screen can prune, so a
+    // feasible candidate passes through to full evaluation with the
+    // identical result.
+    const BoundPrune no_threshold{&lbe,
+                                  std::numeric_limits<double>::infinity()};
+    const CachedEval through = guardedEvaluate(
+        model, space, space.defaultChoices(), &no_threshold);
+    EXPECT_EQ(through.pruned, false);
+    EXPECT_EQ(through.valid, plain.valid);
+    EXPECT_EQ(through.cycles, plain.cycles);
+}
+
+// -------------------------------------------------------------------
+// Search integration: equal-cost bests, accounting, kill/resume
+// -------------------------------------------------------------------
+
+namespace {
+
+MapperConfig
+smallGaConfig()
+{
+    MapperConfig cfg;
+    cfg.rounds = 5;
+    cfg.population = 6;
+    cfg.tilingSamples = 15;
+    cfg.seed = 0xB00B5u;
+    cfg.threads = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(LowerBound, GaPruneOnAndOffFindEqualCostBests)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionSpace(w, edge);
+
+    MapperConfig on = smallGaConfig();
+    on.boundPrune = true;
+    MapperConfig off = smallGaConfig();
+    off.boundPrune = false;
+
+    const MapperResult a = exploreSpace(model, space, on);
+    const MapperResult b = exploreSpace(model, space, off);
+    ASSERT_TRUE(a.found);
+    ASSERT_TRUE(b.found);
+    EXPECT_EQ(a.bestCycles, b.bestCycles);
+
+    // Pruning discards work, it never invents it: strictly fewer full
+    // evaluations, with the difference visible in boundPruned.
+    EXPECT_LT(a.evaluations, b.evaluations);
+    EXPECT_GT(a.boundPruned, 0u);
+    EXPECT_EQ(b.boundPruned, 0u);
+}
+
+TEST(LowerBound, MctsPruneOnAndOffFindEqualCostBests)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+
+    MapperConfig on;
+    on.threads = 1;
+    on.boundPrune = true;
+    MapperConfig off = on;
+    off.boundPrune = false;
+
+    const MapperResult a =
+        exploreTiling(model, space, 300, 0x5EEDu, on);
+    const MapperResult b =
+        exploreTiling(model, space, 300, 0x5EEDu, off);
+    ASSERT_TRUE(a.found);
+    ASSERT_TRUE(b.found);
+    EXPECT_EQ(a.bestCycles, b.bestCycles);
+    EXPECT_LT(a.evaluations, b.evaluations);
+    EXPECT_GT(a.boundPruned, 0u);
+    EXPECT_EQ(b.boundPruned, 0u);
+}
+
+TEST(LowerBound, CandidateAccountingPartitionsExactly)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    const uint64_t cand0 = metrics.counterValue("mapper.candidates");
+    const uint64_t pruned0 = metrics.counterValue("mapper.bound_pruned");
+    const uint64_t evals0 = metrics.counterValue("mapper.evaluations");
+    const uint64_t bevals0 = metrics.counterValue("mapper.bound_evals");
+    const uint64_t tight0 =
+        metrics.histogram("mapper.bound_tightness").count();
+
+    MapperConfig cfg;
+    cfg.threads = 1;
+    const MapperResult r = exploreTiling(model, space, 200, 7u, cfg);
+
+    const uint64_t cand =
+        metrics.counterValue("mapper.candidates") - cand0;
+    const uint64_t pruned =
+        metrics.counterValue("mapper.bound_pruned") - pruned0;
+    const uint64_t evals =
+        metrics.counterValue("mapper.evaluations") - evals0;
+    const uint64_t bevals =
+        metrics.counterValue("mapper.bound_evals") - bevals0;
+    const uint64_t tight =
+        metrics.histogram("mapper.bound_tightness").count() - tight0;
+
+    // Every candidate the guard saw was pruned or fully evaluated.
+    EXPECT_EQ(cand, pruned + evals);
+    // The search result reports exactly the registry's deltas.
+    EXPECT_EQ(r.boundPruned, pruned);
+    EXPECT_EQ(uint64_t(r.evaluations), evals);
+    // Every prune was preceded by a computed bound, and tightness is
+    // only observed for bounded candidates that were then evaluated.
+    EXPECT_GE(bevals, pruned);
+    EXPECT_LE(tight, evals);
+}
+
+TEST(LowerBound, MctsKillResumeWithPruningIsBitIdentical)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionTilingSpace(w, edge);
+
+    MapperConfig cfg;
+    cfg.threads = 1;
+    cfg.checkpointEveryBatches = 1;
+
+    const MapperResult reference =
+        exploreTiling(model, space, 300, 42u, cfg);
+    ASSERT_TRUE(reference.found);
+    ASSERT_GT(reference.evaluations, 0);
+    ASSERT_GT(reference.boundPruned, 0u);
+
+    const std::string path = testing::TempDir() + "lb_mcts.ckpt";
+    std::remove(path.c_str());
+
+    MapperConfig killed = cfg;
+    killed.checkpointPath = path;
+    killed.maxEvaluations = std::max(1, reference.evaluations / 2);
+    const MapperResult k = exploreTiling(model, space, 300, 42u, killed);
+    EXPECT_TRUE(k.timedOut);
+    EXPECT_LE(k.evaluations, reference.evaluations);
+
+    MapperConfig resume = cfg;
+    resume.checkpointPath = path;
+    const MapperResult r = exploreTiling(model, space, 300, 42u, resume);
+    EXPECT_TRUE(r.resumed);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.bestCycles, reference.bestCycles);
+    EXPECT_EQ(r.bestChoices, reference.bestChoices);
+    EXPECT_EQ(r.evaluations, reference.evaluations);
+    EXPECT_EQ(r.boundPruned, reference.boundPruned);
+    EXPECT_EQ(r.failureHistogram, reference.failureHistogram);
+    std::remove(path.c_str());
+}
+
+TEST(LowerBound, GaKillResumeWithPruningIsBitIdentical)
+{
+    const Workload w = buildAttention(attentionShape("Bert-S"), false);
+    const ArchSpec edge = makeEdgeArch();
+    const Evaluator model(w, edge);
+    const MappingSpace space = makeAttentionSpace(w, edge);
+
+    const MapperConfig cfg = smallGaConfig();
+    const MapperResult reference = exploreSpace(model, space, cfg);
+    ASSERT_TRUE(reference.found);
+    ASSERT_GT(reference.evaluations, 0);
+    ASSERT_GT(reference.boundPruned, 0u);
+
+    const std::string path = testing::TempDir() + "lb_ga.ckpt";
+    std::remove(path.c_str());
+
+    MapperConfig killed = cfg;
+    killed.checkpointPath = path;
+    killed.maxEvaluations = std::max(1, reference.evaluations / 2);
+    const MapperResult k = exploreSpace(model, space, killed);
+    EXPECT_TRUE(k.timedOut);
+
+    MapperConfig resume = cfg;
+    resume.checkpointPath = path;
+    const MapperResult r = exploreSpace(model, space, resume);
+    EXPECT_TRUE(r.resumed);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.bestCycles, reference.bestCycles);
+    EXPECT_EQ(r.bestChoices, reference.bestChoices);
+    EXPECT_EQ(r.evaluations, reference.evaluations);
+    EXPECT_EQ(r.boundPruned, reference.boundPruned);
+    std::remove(path.c_str());
+}
+
+} // namespace tileflow

@@ -506,6 +506,7 @@ checkMetrics(const JsonValue& root)
         const char* field;
     };
     for (const Pair p : {Pair{"mapper.evaluations", "evaluations"},
+                         Pair{"mapper.bound_pruned", "bound_pruned"},
                          Pair{"evalcache.hits", "cache_hits"},
                          Pair{"evalcache.misses", "cache_misses"},
                          Pair{"mapper.failed_evaluations",
@@ -521,6 +522,35 @@ checkMetrics(const JsonValue& root)
 
     check(numberOr(result->get("evaluations"), -1.0) >= 0.0,
           "evaluations must be >= 0");
+
+    // Branch-and-bound accounting (DESIGN.md §13). Every candidate the
+    // guard saw was either pruned by the lower bound or fully
+    // evaluated — the two buckets partition mapper.candidates exactly.
+    // And the tightness histogram observes only candidates where both
+    // the bound and a valid full evaluation ran, so its population can
+    // never exceed the evaluation count.
+    const double candidates =
+        numberOr(counters->get("mapper.candidates"), 0.0);
+    const double bound_pruned =
+        numberOr(counters->get("mapper.bound_pruned"), 0.0);
+    const double mapper_evals_bb =
+        numberOr(counters->get("mapper.evaluations"), 0.0);
+    {
+        std::ostringstream os;
+        os << "mapper.bound_pruned (" << bound_pruned
+           << ") + mapper.evaluations (" << mapper_evals_bb
+           << ") != mapper.candidates (" << candidates << ")";
+        check(bound_pruned + mapper_evals_bb == candidates, os.str());
+    }
+    const JsonValue* tightness =
+        histograms->get("mapper.bound_tightness");
+    if (tightness && tightness->isObject()) {
+        const double tcount = numberOr(tightness->get("count"), 0.0);
+        std::ostringstream os;
+        os << "mapper.bound_tightness count (" << tcount
+           << ") > mapper.evaluations (" << mapper_evals_bb << ")";
+        check(tcount <= mapper_evals_bb, os.str());
+    }
 
     // Incremental-evaluation counters (DESIGN.md §4.6). The subtree
     // cache performs exactly one lookup per Tile node per incremental
